@@ -1,0 +1,101 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-quick] [-instrs N] [-warmup N] [-mixes N] [-traces a,b,c] [-fig id | -table n | -all]
+//
+// Each experiment prints the same rows/series the paper reports (see
+// DESIGN.md for the per-experiment index). -all runs everything in
+// paper order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"secpref/internal/experiments"
+)
+
+func main() {
+	var (
+		quick  = flag.Bool("quick", false, "smoke-scale campaign (fewer traces, shorter runs)")
+		instrs = flag.Int("instrs", 0, "measured instructions per run (0 = default)")
+		warmup = flag.Int("warmup", 0, "warmup instructions per run (0 = default)")
+		mixes  = flag.Int("mixes", 0, "4-core mixes for fig15 (0 = default)")
+		traces = flag.String("traces", "", "comma-separated trace subset")
+		figID  = flag.String("fig", "", "figure to regenerate (1,3,4,5,6,10,11,12a,12b,13,14,15,suf-accuracy)")
+		tabID  = flag.String("table", "", "table to regenerate (1,2,3)")
+		all    = flag.Bool("all", false, "regenerate every paper experiment")
+		ext    = flag.Bool("ext", false, "also run extension experiments (SMT, ablations)")
+		par    = flag.Int("p", 0, "parallel simulations (0 = GOMAXPROCS)")
+		asJSON = flag.Bool("json", false, "emit tables as JSON instead of text")
+	)
+	flag.Parse()
+
+	opts := experiments.DefaultOptions()
+	if *quick {
+		opts = experiments.QuickOptions()
+	}
+	if *instrs > 0 {
+		opts.Instrs = *instrs
+	}
+	if *warmup > 0 {
+		opts.Warmup = *warmup
+	}
+	if *mixes > 0 {
+		opts.Mixes = *mixes
+	}
+	if *traces != "" {
+		opts.Traces = strings.Split(*traces, ",")
+	}
+	if *par > 0 {
+		opts.Parallelism = *par
+	}
+	r := experiments.NewRunner(opts)
+
+	var ids []string
+	switch {
+	case *all:
+		ids = experiments.IDs
+		if *ext {
+			ids = append(append([]string{}, ids...), experiments.ExtensionIDs...)
+		}
+	case *ext:
+		ids = experiments.ExtensionIDs
+	case *figID != "":
+		id := *figID
+		if !strings.HasPrefix(id, "fig") && !strings.HasPrefix(id, "suf") &&
+			!strings.HasPrefix(id, "smt") && !strings.HasPrefix(id, "ablate") && !strings.HasPrefix(id, "tsb") {
+			id = "fig" + id
+		}
+		ids = []string{id}
+	case *tabID != "":
+		ids = []string{"table" + *tabID}
+	default:
+		fmt.Fprintln(os.Stderr, "specify -fig, -table, or -all; experiments:", strings.Join(experiments.IDs, " "))
+		os.Exit(2)
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		t, err := r.Run(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			raw, err := t.JSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+			fmt.Println(string(raw))
+		} else {
+			fmt.Print(t.String())
+			fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+		}
+	}
+}

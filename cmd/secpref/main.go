@@ -1,0 +1,115 @@
+// Command secpref runs one simulation and prints its statistics.
+//
+// Usage:
+//
+//	secpref -trace 605.mcf-1554B -prefetcher berti -mode ts -secure -suf
+//	secpref -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"secpref"
+	"secpref/internal/mem"
+	"secpref/internal/trace"
+)
+
+func main() {
+	var (
+		traceName = flag.String("trace", "605.mcf-1554B", "workload trace name")
+		traceFile = flag.String("tracefile", "", "binary trace file (from tracegen) instead of -trace")
+		pf        = flag.String("prefetcher", "none", "prefetcher: none|ip-stride|ipcp|bingo|spp-ppf|berti")
+		mode      = flag.String("mode", "on-access", "prefetch mode: on-access|on-commit|ts")
+		secure    = flag.Bool("secure", false, "use the GhostMinion secure cache system")
+		suf       = flag.Bool("suf", false, "enable the Secure Update Filter")
+		instrs    = flag.Int("instrs", 200_000, "measured instructions")
+		warmup    = flag.Int("warmup", 50_000, "warmup instructions")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		list      = flag.Bool("list", false, "list available traces and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("SPEC-like traces:")
+		fmt.Println(" ", strings.Join(secpref.WorkloadSuite("spec"), " "))
+		fmt.Println("GAP traces:")
+		fmt.Println(" ", strings.Join(secpref.WorkloadSuite("gap"), " "))
+		return
+	}
+
+	cfg := secpref.DefaultConfig()
+	cfg.Prefetcher = *pf
+	cfg.Secure = *secure
+	cfg.SUF = *suf
+	cfg.WarmupInstrs = *warmup
+	cfg.MaxInstrs = *instrs
+	switch *mode {
+	case "on-access":
+		cfg.Mode = secpref.ModeOnAccess
+	case "on-commit":
+		cfg.Mode = secpref.ModeOnCommit
+	case "ts", "timely-secure":
+		cfg.Mode = secpref.ModeTimelySecure
+	default:
+		fmt.Fprintf(os.Stderr, "secpref: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	var res *secpref.Result
+	var err error
+	if *traceFile != "" {
+		f, ferr := os.Open(*traceFile)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "secpref:", ferr)
+			os.Exit(1)
+		}
+		tr, ferr := trace.Read(f)
+		f.Close()
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "secpref:", ferr)
+			os.Exit(1)
+		}
+		res, err = secpref.RunTrace(cfg, tr)
+	} else {
+		res, err = secpref.Run(cfg, *traceName, secpref.WorkloadParams{Instrs: *instrs + *warmup, Seed: *seed})
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "secpref:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("trace:            %s\n", res.TraceName)
+	fmt.Printf("config:           %s\n", cfg.Label())
+	fmt.Printf("instructions:     %d\n", res.Instructions)
+	fmt.Printf("cycles:           %d\n", res.Cycles)
+	fmt.Printf("IPC:              %.4f\n", res.IPC)
+	fmt.Printf("load miss lat:    %.1f cycles\n", res.LoadMissLatency())
+	ap := res.L1DAPKI()
+	fmt.Printf("L1D APKI:         load=%.1f prefetch=%.1f commit=%.1f\n", ap.Load, ap.Prefetch, ap.Commit)
+	fmt.Printf("branch mispred:   %.2f%%\n", res.Core.MispredictRate()*100)
+	if cfg.Prefetcher != "none" {
+		home := mem.LvlL1D
+		if cfg.Prefetcher == "bingo" || cfg.Prefetcher == "spp-ppf" {
+			home = mem.LvlL2
+		}
+		fmt.Printf("pref accuracy:    %.1f%% (at %s)\n", res.PrefAccuracy(home)*100, home)
+	}
+	if cfg.Secure {
+		fmt.Printf("GM miss rate:     %.1f%%\n", 100*float64(res.GM.Misses[mem.KindLoad])/float64(max(1, res.GM.Accesses[mem.KindLoad])))
+		fmt.Printf("commit writes:    %d, refetches: %d\n", res.L1D.Accesses[mem.KindCommitWrite], res.L1D.Accesses[mem.KindRefetch])
+	}
+	if cfg.SUF {
+		fmt.Printf("SUF drops:        %d (accuracy %.2f%%)\n", res.Core.SUFDrops, res.SUFAccuracy()*100)
+	}
+	fmt.Printf("dynamic energy:   %.2f uJ\n", res.Energy.Total()/1e6)
+}
+
+func max(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

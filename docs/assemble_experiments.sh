@@ -1,0 +1,12 @@
+#!/bin/sh
+# Assembles EXPERIMENTS.md from the commentary header and the raw
+# campaign output. Run from the repository root after
+# `go run ./cmd/experiments -all -ext > experiments_full.txt`.
+set -e
+{
+	cat docs/experiments_header.md
+	echo '```'
+	cat experiments_full.txt
+	echo '```'
+} > EXPERIMENTS.md
+echo "wrote EXPERIMENTS.md"

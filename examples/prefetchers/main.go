@@ -1,0 +1,43 @@
+// Prefetcher bake-off: runs all five prefetchers in their timely-secure
+// form (with SUF) on a streaming and a graph workload and compares
+// speedup, accuracy, and adaptive-distance behaviour — the paper's
+// §V-D machinery at work.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"secpref"
+)
+
+func main() {
+	params := secpref.WorkloadParams{Instrs: 150_000, Seed: 1}
+	for _, traceName := range []string{"603.bwa-2931B", "bfs-3B"} {
+		fmt.Printf("=== %s ===\n", traceName)
+
+		base := secpref.DefaultConfig()
+		base.WarmupInstrs = 25_000
+		base.MaxInstrs = 120_000
+		baseRes, err := secpref.Run(base, traceName, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%-10s %8s %10s %10s %9s\n", "prefetcher", "speedup", "accuracy%", "final-dist", "resets")
+		for _, pf := range secpref.Prefetchers() {
+			cfg := base
+			cfg.Secure = true
+			cfg.SUF = true
+			cfg.Prefetcher = pf
+			cfg.Mode = secpref.ModeTimelySecure
+			res, err := secpref.Run(cfg, traceName, params)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-10s %8.3f %10.1f %10d %9d\n",
+				pf, res.IPC/baseRes.IPC, secpref.PrefetcherAccuracy(res, pf)*100, res.FinalDistance, res.PhaseResets)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,55 @@
+// Quickstart: simulate one workload on four systems — the non-secure
+// baseline, plain GhostMinion, GhostMinion with an on-commit Berti
+// prefetcher, and the paper's full proposal (TSB + SUF) — and compare.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"secpref"
+)
+
+func main() {
+	const traceName = "605.mcf-1554B"
+	params := secpref.WorkloadParams{Instrs: 250_000, Seed: 1}
+
+	configs := []struct {
+		name string
+		mut  func(*secpref.Config)
+	}{
+		{"non-secure baseline", func(c *secpref.Config) {}},
+		{"GhostMinion", func(c *secpref.Config) { c.Secure = true }},
+		{"GhostMinion + on-commit Berti", func(c *secpref.Config) {
+			c.Secure = true
+			c.Prefetcher = "berti"
+			c.Mode = secpref.ModeOnCommit
+		}},
+		{"GhostMinion + TSB + SUF (paper)", func(c *secpref.Config) {
+			c.Secure = true
+			c.SUF = true
+			c.Prefetcher = "berti"
+			c.Mode = secpref.ModeTimelySecure
+		}},
+	}
+
+	var baseIPC float64
+	fmt.Printf("workload: %s (%d instructions)\n\n", traceName, params.Instrs)
+	for i, cc := range configs {
+		cfg := secpref.DefaultConfig()
+		cfg.WarmupInstrs = 50_000
+		cfg.MaxInstrs = 200_000
+		cc.mut(&cfg)
+		res, err := secpref.Run(cfg, traceName, params)
+		if err != nil {
+			log.Fatalf("%s: %v", cc.name, err)
+		}
+		if i == 0 {
+			baseIPC = res.IPC
+		}
+		fmt.Printf("%-32s IPC %.4f  speedup %.3f  load-miss-latency %.1f cycles\n",
+			cc.name, res.IPC, res.IPC/baseIPC, res.LoadMissLatency())
+	}
+	fmt.Println("\nThe paper's proposal recovers most of the secure system's loss:")
+	fmt.Println("TSB fixes on-commit prefetch timeliness; SUF removes redundant commit traffic.")
+}

@@ -1,0 +1,3 @@
+module secpref
+
+go 1.22

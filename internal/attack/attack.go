@@ -1,0 +1,183 @@
+// Package attack demonstrates the threat model of the paper (§II-A): a
+// Spectre-style transient-execution attacker leaking a secret through
+// the cache state — directly, or via a speculatively-trained hardware
+// prefetcher (the MuonTrap/GhostMinion prefetch attack the paper's
+// on-commit prefetching defeats).
+//
+// The harness drives the memory hierarchy without a core: the attacker
+// primes and probes with committed accesses and measures load latency
+// (an architectural capability); the victim executes transient loads
+// that are subsequently squashed. On a non-secure hierarchy the
+// transient fills (and any speculative prefetcher activity) survive the
+// squash and the probe recovers the secret; on GhostMinion the
+// speculative state lives only in the GM and dies with the squash, and
+// an on-commit prefetcher is never trained on transient loads at all.
+package attack
+
+import (
+	"secpref/internal/cache"
+	"secpref/internal/dram"
+	"secpref/internal/ghostminion"
+	"secpref/internal/mem"
+	"secpref/internal/prefetch"
+	"secpref/internal/stats"
+
+	// Prefetcher registration.
+	_ "secpref/internal/prefetch/ipstride"
+)
+
+// Config selects the defended or undefended system and the prefetcher
+// discipline.
+type Config struct {
+	// Secure selects the GhostMinion hierarchy.
+	Secure bool
+	// Prefetcher optionally attaches an L1D prefetcher ("" = none;
+	// "ip-stride" is the canonical attack vector).
+	Prefetcher string
+	// OnCommitPrefetch trains/triggers the prefetcher only at commit
+	// (the secure discipline); otherwise it trains on every access,
+	// including transient ones.
+	OnCommitPrefetch bool
+}
+
+// System is a memory hierarchy under attack-harness control.
+type System struct {
+	cfg Config
+	l1d *cache.Cache
+	l2  *cache.Cache
+	llc *cache.Cache
+	mem *dram.DRAM
+	gm  *ghostminion.GM
+	pf  prefetch.Prefetcher
+	now mem.Cycle
+	seq uint64
+	cs  stats.CoreStats
+}
+
+// NewSystem builds the hierarchy per cfg.
+func NewSystem(cfg Config) (*System, error) {
+	s := &System{cfg: cfg}
+	s.mem = dram.New(dram.DefaultConfig())
+	s.llc = cache.New(cache.LLCConfig(1), s.mem)
+	s.l2 = cache.New(cache.L2Config(), s.llc)
+	s.l1d = cache.New(cache.L1DConfig(), s.l2)
+	if cfg.Secure {
+		s.gm = ghostminion.New(ghostminion.DefaultConfig(), s.l1d, nil)
+	}
+	if cfg.Prefetcher != "" {
+		pf, err := prefetch.New(cfg.Prefetcher, func(line mem.Line, ip mem.Addr, fill mem.Level) bool {
+			return s.l1d.Prefetch(line, ip, fill, s.now)
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.pf = pf
+	}
+	return s, nil
+}
+
+// tick advances the whole hierarchy one cycle.
+func (s *System) tick() {
+	s.now++
+	if s.gm != nil {
+		s.gm.Tick(s.now)
+	}
+	s.l1d.Tick(s.now)
+	s.l2.Tick(s.now)
+	s.llc.Tick(s.now)
+	s.mem.Tick(s.now)
+}
+
+// run advances until fn reports completion (or a cycle budget expires).
+func (s *System) run(fn func() bool) bool {
+	for budget := 0; budget < 1_000_000; budget++ {
+		if fn() {
+			return true
+		}
+		s.tick()
+	}
+	return false
+}
+
+// load issues one load (speculative path in the secure system) and
+// waits for data, returning the observed latency.
+func (s *System) load(line mem.Line, ip mem.Addr) mem.Cycle {
+	start := s.now
+	s.seq++
+	done := false
+	r := &mem.Request{
+		Line:      line,
+		IP:        ip,
+		Kind:      mem.KindLoad,
+		Issued:    s.now,
+		Timestamp: s.seq,
+		Done:      func(*mem.Request) { done = true },
+	}
+	issued := false
+	s.run(func() bool {
+		if !issued {
+			if s.gm != nil {
+				issued = s.gm.IssueLoad(r)
+			} else {
+				issued = s.l1d.Enqueue(r)
+			}
+		}
+		return issued && done
+	})
+	return s.now - start
+}
+
+// CommittedLoad performs an architectural load: access, then commit
+// (training an on-commit prefetcher and, in the secure system, running
+// the GhostMinion commit engine).
+func (s *System) CommittedLoad(line mem.Line, ip mem.Addr) mem.Cycle {
+	lat := s.load(line, ip)
+	if s.gm != nil {
+		hl := mem.LvlDRAM // conservative full update (no SUF in the harness)
+		s.gm.Commit(line, s.seq, hl, &s.cs)
+	}
+	if s.pf != nil {
+		// Both disciplines train on committed loads.
+		s.pf.Train(prefetch.Event{Line: line, IP: ip, Cycle: s.now, AccessCycle: s.now})
+	}
+	s.drain(64)
+	return lat
+}
+
+// TransientLoads executes the victim's speculative loads and then
+// squashes them, as a mispredicted branch would. On the non-secure
+// system the fills land in the hierarchy; on GhostMinion they land in
+// the GM and are invalidated by the squash. An on-access prefetcher is
+// trained by these loads; an on-commit prefetcher is not.
+func (s *System) TransientLoads(lines []mem.Line, ip mem.Addr) {
+	startSeq := s.seq + 1
+	for _, l := range lines {
+		s.load(l, ip)
+		if s.pf != nil && !s.cfg.OnCommitPrefetch {
+			// On-access (insecure) prefetching: speculative training.
+			s.pf.Train(prefetch.Event{Line: l, IP: ip, Cycle: s.now, AccessCycle: s.now})
+		}
+	}
+	// Squash: transient instructions never commit.
+	if s.gm != nil {
+		s.gm.Squash(startSeq)
+	}
+	s.drain(512)
+}
+
+// drain runs the hierarchy for n cycles so in-flight traffic settles.
+func (s *System) drain(n int) {
+	for i := 0; i < n; i++ {
+		s.tick()
+	}
+}
+
+// ProbeLatency measures the access latency of a line the attacker
+// architecturally loads (prime+probe timing measurement).
+func (s *System) ProbeLatency(line mem.Line, ip mem.Addr) mem.Cycle {
+	return s.CommittedLoad(line, ip)
+}
+
+// CachedThreshold is the latency below which a probe is considered a
+// cache hit (L1D/L2 service vs. LLC/DRAM).
+const CachedThreshold = 30

@@ -1,0 +1,56 @@
+package attack
+
+import "testing"
+
+// The four security claims of the paper's threat model, as executable
+// assertions.
+
+func TestCacheLeakOnNonSecure(t *testing.T) {
+	for _, secret := range []int{0, 5, 11, 15} {
+		o, err := SpectreCacheLeak(Config{Secure: false}, secret)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !o.Leaked {
+			t.Errorf("non-secure cache should leak: %v (lats=%v)", o, o.Latencies)
+		}
+	}
+}
+
+func TestCacheLeakBlockedByGhostMinion(t *testing.T) {
+	for _, secret := range []int{0, 5, 11, 15} {
+		o, err := SpectreCacheLeak(Config{Secure: true}, secret)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.Leaked {
+			t.Errorf("GhostMinion must hide transient fills: %v (lats=%v)", o, o.Latencies)
+		}
+	}
+}
+
+func TestPrefetchLeakOnSecureSystemWithOnAccessPrefetch(t *testing.T) {
+	// The paper's motivation: even with GhostMinion, an on-access
+	// prefetcher trained by transient loads leaks.
+	for _, secret := range []int{1, 7, 12} {
+		o, err := SpectrePrefetchLeak(Config{Secure: true, Prefetcher: "ip-stride"}, secret)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !o.Leaked {
+			t.Errorf("on-access prefetcher on a secure cache should still leak: %v (lats=%v)", o, o.Latencies)
+		}
+	}
+}
+
+func TestPrefetchLeakBlockedByOnCommitPrefetch(t *testing.T) {
+	for _, secret := range []int{1, 7, 12} {
+		o, err := SpectrePrefetchLeak(Config{Secure: true, Prefetcher: "ip-stride", OnCommitPrefetch: true}, secret)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.Leaked {
+			t.Errorf("on-commit prefetching must not be trained by transient loads: %v (lats=%v)", o, o.Latencies)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Package bpred implements the hashed perceptron conditional branch
+// predictor (Jiménez & Lin, HPCA 2001; the "hashed" organization used
+// by ChampSim and the paper's Table II core). Several feature tables of
+// signed weights are indexed by hashes of the branch IP with slices of
+// the global history register; the prediction is the sign of the
+// summed weights, and training adjusts weights when the prediction was
+// wrong or the sum's magnitude was below threshold.
+package bpred
+
+import "secpref/internal/mem"
+
+const (
+	numTables   = 8
+	tableBits   = 12
+	tableSize   = 1 << tableBits
+	histLen     = 64
+	weightMax   = 63
+	weightMin   = -64
+	theta       = 2*numTables + 14 // training threshold
+	ghistSlice  = histLen / numTables
+	biasTableID = 0
+)
+
+// Perceptron is a hashed perceptron predictor.
+type Perceptron struct {
+	weights [numTables][tableSize]int8
+	ghist   uint64
+}
+
+// New returns a zero-initialized predictor.
+func New() *Perceptron { return &Perceptron{} }
+
+// index computes the table index for feature t.
+func (p *Perceptron) index(t int, ip mem.Addr) int {
+	h := uint64(ip) >> 2
+	if t != biasTableID {
+		slice := (p.ghist >> (uint(t-1) * ghistSlice)) & ((1 << ghistSlice) - 1)
+		h ^= slice * 0x9e3779b97f4a7c15
+		h ^= h >> 29
+	}
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return int(h & (tableSize - 1))
+}
+
+// Predict returns the predicted direction for a conditional branch.
+func (p *Perceptron) Predict(ip mem.Addr) bool {
+	return p.sum(ip) >= 0
+}
+
+func (p *Perceptron) sum(ip mem.Addr) int {
+	s := 0
+	for t := 0; t < numTables; t++ {
+		s += int(p.weights[t][p.index(t, ip)])
+	}
+	return s
+}
+
+// Train updates the predictor with the actual outcome and returns
+// whether the prediction (made against current state) was correct.
+// Callers must invoke Train exactly once per conditional branch, in
+// program order.
+func (p *Perceptron) Train(ip mem.Addr, taken bool) (correct bool) {
+	s := p.sum(ip)
+	pred := s >= 0
+	correct = pred == taken
+	if !correct || abs(s) < theta {
+		for t := 0; t < numTables; t++ {
+			i := p.index(t, ip)
+			w := p.weights[t][i]
+			if taken && w < weightMax {
+				w++
+			} else if !taken && w > weightMin {
+				w--
+			}
+			p.weights[t][i] = w
+		}
+	}
+	p.ghist = p.ghist<<1 | b2u(taken)
+	return correct
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

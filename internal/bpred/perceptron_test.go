@@ -1,0 +1,89 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+
+	"secpref/internal/mem"
+)
+
+// accuracy trains the predictor on a generated outcome stream and
+// returns the fraction predicted correctly.
+func accuracy(n int, outcome func(i int) (ip mem.Addr, taken bool)) float64 {
+	p := New()
+	correct := 0
+	for i := 0; i < n; i++ {
+		ip, taken := outcome(i)
+		if p.Predict(ip) == taken {
+			correct++
+		}
+		p.Train(ip, taken)
+	}
+	return float64(correct) / float64(n)
+}
+
+func TestLearnsBiasedBranch(t *testing.T) {
+	acc := accuracy(10000, func(i int) (mem.Addr, bool) { return 0x400, true })
+	if acc < 0.99 {
+		t.Errorf("always-taken accuracy %.3f, want >0.99", acc)
+	}
+}
+
+func TestLearnsAlternatingPattern(t *testing.T) {
+	acc := accuracy(10000, func(i int) (mem.Addr, bool) { return 0x404, i%2 == 0 })
+	if acc < 0.95 {
+		t.Errorf("alternating accuracy %.3f, want >0.95 (history feature)", acc)
+	}
+}
+
+func TestLearnsLoopExit(t *testing.T) {
+	// Taken 15 times, not-taken once — the generators' loop shape.
+	acc := accuracy(16000, func(i int) (mem.Addr, bool) { return 0x408, i%16 != 15 })
+	if acc < 0.93 {
+		t.Errorf("loop accuracy %.3f, want >0.93", acc)
+	}
+}
+
+func TestRandomBranchNearChance(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	acc := accuracy(20000, func(i int) (mem.Addr, bool) { return 0x40c, rng.Intn(2) == 0 })
+	if acc < 0.40 || acc > 0.62 {
+		t.Errorf("random accuracy %.3f, want near 0.5", acc)
+	}
+}
+
+func TestMultipleBranchesDoNotDestroyEachOther(t *testing.T) {
+	p := New()
+	// Interleave two opposite-bias branches at different IPs.
+	for i := 0; i < 8000; i++ {
+		p.Train(0x500, true)
+		p.Train(0x504, false)
+	}
+	correct := 0
+	for i := 0; i < 100; i++ {
+		if p.Predict(0x500) == true {
+			correct++
+		}
+		p.Train(0x500, true)
+		if p.Predict(0x504) == false {
+			correct++
+		}
+		p.Train(0x504, false)
+	}
+	if correct < 195 {
+		t.Errorf("interleaved accuracy %d/200", correct)
+	}
+}
+
+func TestTrainReturnsCorrectness(t *testing.T) {
+	p := New()
+	for i := 0; i < 1000; i++ {
+		p.Train(0x600, true)
+	}
+	if !p.Train(0x600, true) {
+		t.Error("well-trained branch reported mispredict")
+	}
+	if p.Train(0x600, false) {
+		t.Error("surprising outcome reported correct")
+	}
+}

@@ -1,0 +1,812 @@
+// Package cache implements the bandwidth- and MSHR-limited
+// set-associative cache model that forms the simulated memory
+// hierarchy. The model follows ChampSim's structure: per-cycle bounded
+// read/write/prefetch queue pops, miss-status-holding registers with
+// merge and prefetch promotion, latency pipelines, a fill path with
+// victim writebacks, and a non-inclusive multilevel organization.
+//
+// Two extensions support the secure cache system built on top:
+//
+//   - Speculative-bypass lookups (GhostMinion): probe the level without
+//     updating replacement state and, on miss, pass through to the next
+//     level without allocating an MSHR; the response fills only the GM.
+//   - Clean-propagation writebacks carrying GhostMinion/SUF writeback
+//     bits, which decide how far up the hierarchy an on-commit write
+//     continues when the line is evicted.
+package cache
+
+import (
+	"fmt"
+
+	"secpref/internal/mem"
+	"secpref/internal/stats"
+)
+
+// Port is anything that accepts memory requests: the next cache level
+// or DRAM. Enqueue returns false when the target queue is full (the
+// caller must retry — this back-pressure is the contention mechanism
+// behind the paper's Fig. 4/5).
+type Port interface {
+	Enqueue(r *mem.Request) bool
+}
+
+// AccessInfo describes a demand access observed at a cache level; the
+// prefetcher training hooks receive it.
+type AccessInfo struct {
+	Line mem.Line
+	IP   mem.Addr
+	Kind mem.Kind
+	Hit  bool
+	// HitPrefetched reports a demand hit on a prefetched line;
+	// PrefFetchLat is that line's recorded fill latency (Berti stores it
+	// alongside the line).
+	HitPrefetched bool
+	PrefFetchLat  mem.Cycle
+	// Merged reports a miss that joined an in-flight prefetch (the
+	// classic late prefetch).
+	Merged bool
+	Cycle  mem.Cycle
+}
+
+// FillInfo describes a line install; Berti-style self-timing
+// prefetchers use the measured fetch latency and the original access
+// context.
+type FillInfo struct {
+	Line     mem.Line
+	Latency  mem.Cycle // MSHR allocate -> fill
+	Prefetch bool
+	Cycle    mem.Cycle
+	// IP and ReqIssued describe the first waiter (the access that
+	// allocated the MSHR): its instruction pointer and issue cycle.
+	IP        mem.Addr
+	ReqIssued mem.Cycle
+}
+
+type lineState struct {
+	line  mem.Line
+	valid bool
+	dirty bool
+	lru   uint32
+	// rrpv is the SRRIP re-reference prediction (0 = imminent,
+	// 3 = distant); unused under LRU.
+	rrpv uint8
+	// prefetched marks a line installed by a prefetch and not yet
+	// referenced by demand (accuracy accounting).
+	prefetched bool
+	// fetchLat is the fill latency recorded when the line was installed
+	// by a prefetch (Berti reads it on a demand hit).
+	fetchLat mem.Cycle
+	// propagate is the GhostMinion writeback bit: on eviction the line
+	// continues to the next level even if clean.
+	propagate bool
+	// wbbRest carries the remaining writeback bits for levels above.
+	wbbRest uint8
+}
+
+type mshrEntry struct {
+	valid     bool
+	line      mem.Line
+	kind      mem.Kind // strongest kind (demand beats prefetch)
+	waiters   []*mem.Request
+	child     *mem.Request
+	forwarded bool
+	alloc     mem.Cycle
+	fillLevel mem.Level
+	timestamp uint64
+	// spec marks an entry whose waiters are all GhostMinion speculative
+	// probes: the response completes them but must not install the line
+	// (invisible speculation). Any non-speculative joiner clears it.
+	spec bool
+}
+
+// wheelSize bounds the hit-latency pipeline; must exceed any hit
+// latency.
+const wheelSize = 128
+
+// fwdCap bounds the pass-through buffer for requests that traverse this
+// level without an MSHR (speculative bypasses, deeper-fill prefetches).
+const fwdCap = 8
+
+// Cache is one level of the hierarchy.
+type Cache struct {
+	cfg   Config
+	sets  [][]lineState
+	clock uint32
+	mshr  []mshrEntry
+	inUse int
+
+	rq, wq, pq  []*mem.Request
+	fwdq        []*mem.Request
+	fills       []*fillRecord
+	wheel       [wheelSize][]*mem.Request
+	unforwarded []*mshrEntry
+
+	next Port
+	now  mem.Cycle
+
+	// Stats is the level's counter block.
+	Stats stats.CacheStats
+
+	// OnAccess, if set, observes demand accesses at this level
+	// (prefetcher training hook).
+	OnAccess func(AccessInfo)
+	// OnFill, if set, observes line installs at this level.
+	OnFill func(FillInfo)
+	// OnEvict, if set, observes evictions of valid lines (the Bingo
+	// prefetcher and the attack harness use it).
+	OnEvict func(line mem.Line)
+	// OnSpecAccess, if set, observes GhostMinion speculative-bypass
+	// probes (the training stream for on-access prefetching on a secure
+	// cache system).
+	OnSpecAccess func(AccessInfo)
+}
+
+type fillRecord struct {
+	req     *mem.Request // the child request that returned
+	entry   *mshrEntry   // nil for pass-through fills
+	dirty   bool
+	isWrite bool // WQ-sourced install (writeback/commit-write)
+	wbb     uint8
+}
+
+// New builds a cache level connected to next (which may be nil for
+// isolated unit tests; misses then complete immediately at a fixed
+// penalty — tests only).
+func New(cfg Config, next Port) *Cache {
+	c := &Cache{cfg: cfg, next: next}
+	nsets := cfg.Sets()
+	if nsets == 0 || nsets&(nsets-1) != 0 {
+		// Power-of-two set counts keep index math trivial; all Table II
+		// configurations satisfy this.
+		panic(fmt.Sprintf("cache %s: set count %d not a power of two", cfg.Name, nsets))
+	}
+	c.sets = make([][]lineState, nsets)
+	backing := make([]lineState, nsets*cfg.Ways)
+	for i := range c.sets {
+		c.sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	c.mshr = make([]mshrEntry, cfg.MSHRs)
+	return c
+}
+
+// Config returns the level's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Level returns the level's position in the hierarchy.
+func (c *Cache) Level() mem.Level { return c.cfg.Level }
+
+func (c *Cache) setOf(l mem.Line) []lineState {
+	return c.sets[uint64(l)&uint64(len(c.sets)-1)]
+}
+
+// lookup finds the way holding l, or nil.
+func (c *Cache) lookup(l mem.Line) *lineState {
+	set := c.setOf(l)
+	for i := range set {
+		if set[i].valid && set[i].line == l {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Contains probes for a line without modifying any state. The SUF
+// accuracy oracle and the attack harness use it.
+func (c *Cache) Contains(l mem.Line) bool { return c.lookup(l) != nil }
+
+// touch updates replacement state on a reference.
+func (c *Cache) touch(ls *lineState) {
+	c.clock++
+	ls.lru = c.clock
+	ls.rrpv = 0 // SRRIP: referenced lines become near-imminent
+}
+
+// victimIn selects the replacement victim in a full set.
+func (c *Cache) victimIn(set []lineState) *lineState {
+	if c.cfg.Policy == PolicySRRIP {
+		for {
+			for i := range set {
+				if set[i].rrpv >= 3 {
+					return &set[i]
+				}
+			}
+			for i := range set {
+				set[i].rrpv++
+			}
+		}
+	}
+	v := &set[0]
+	for i := range set {
+		if set[i].lru < v.lru {
+			v = &set[i]
+		}
+	}
+	return v
+}
+
+// Enqueue routes a request to the appropriate queue. It returns false
+// (and counts the rejection) when that queue is full.
+func (c *Cache) Enqueue(r *mem.Request) bool {
+	switch r.Kind {
+	case mem.KindWriteback, mem.KindCommitWrite:
+		if len(c.wq) >= c.cfg.WQSize {
+			c.Stats.WQFull++
+			return false
+		}
+		c.wq = append(c.wq, r)
+	case mem.KindPrefetch:
+		if len(c.pq) >= c.cfg.PQSize {
+			c.Stats.PQFull++
+			c.Stats.PrefDroppedQ++
+			return false
+		}
+		c.pq = append(c.pq, r)
+	default: // loads, RFOs, refetches
+		if len(c.rq) >= c.cfg.RQSize {
+			c.Stats.RQFull++
+			return false
+		}
+		c.rq = append(c.rq, r)
+	}
+	return true
+}
+
+// Prefetch is the prefetcher-facing entry point: it wraps the target in
+// a request and enqueues it, returning false if the PQ is full.
+func (c *Cache) Prefetch(line mem.Line, ip mem.Addr, fillLevel mem.Level, now mem.Cycle) bool {
+	r := &mem.Request{Line: line, IP: ip, Kind: mem.KindPrefetch, FillLevel: fillLevel, Issued: now}
+	if !c.Enqueue(r) {
+		return false
+	}
+	c.Stats.PrefIssued++
+	return true
+}
+
+// MSHRFree returns the number of free MSHR entries (Berti throttles on
+// MSHR occupancy).
+func (c *Cache) MSHRFree() int { return c.cfg.MSHRs - c.inUse }
+
+// respond schedules r's completion after the hit latency.
+func (c *Cache) respond(r *mem.Request, servedBy mem.Level) {
+	r.ServedBy = servedBy
+	slot := (uint64(c.now) + uint64(c.cfg.Latency)) % wheelSize
+	c.wheel[slot] = append(c.wheel[slot], r)
+}
+
+// Tick advances the cache one cycle.
+func (c *Cache) Tick(now mem.Cycle) {
+	c.now = now
+
+	// 1. Deliver responses whose latency elapsed.
+	slot := uint64(now) % wheelSize
+	if rs := c.wheel[slot]; len(rs) > 0 {
+		for _, r := range rs {
+			if r.Done != nil {
+				r.Done(r)
+			}
+		}
+		c.wheel[slot] = c.wheel[slot][:0]
+	}
+
+	// Shared port budget across all operation classes (0 = unlimited).
+	ports := c.cfg.TotalPorts
+	if ports == 0 {
+		ports = 1 << 30
+	}
+
+	// 2. Apply fills (bounded), oldest first.
+	nf := 0
+	for nf < c.cfg.MaxFills && ports > 0 && len(c.fills) > 0 {
+		if !c.applyFill(c.fills[0]) {
+			break // victim writeback blocked; retry next cycle
+		}
+		c.fills = c.fills[1:]
+		nf++
+		ports--
+	}
+
+	// 3. Retry forwarding for MSHR children and pass-through requests.
+	w := 0
+	for _, e := range c.unforwarded {
+		if !e.valid || e.forwarded {
+			continue
+		}
+		if c.next != nil && c.next.Enqueue(e.child) {
+			e.forwarded = true
+			continue
+		}
+		c.unforwarded[w] = e
+		w++
+	}
+	c.unforwarded = c.unforwarded[:w]
+	for len(c.fwdq) > 0 {
+		if c.next == nil || !c.next.Enqueue(c.fwdq[0]) {
+			break
+		}
+		c.fwdq = c.fwdq[1:]
+	}
+
+	// 4. Writes.
+	for n := 0; n < c.cfg.MaxWrites && ports > 0 && len(c.wq) > 0; n++ {
+		r := c.wq[0]
+		if !c.handleWrite(r) {
+			break
+		}
+		c.wq = c.wq[1:]
+		ports--
+	}
+
+	// 5. Reads.
+	for n := 0; n < c.cfg.MaxReads && ports > 0 && len(c.rq) > 0; n++ {
+		r := c.rq[0]
+		if !c.handleRead(r) {
+			break
+		}
+		c.rq = c.rq[1:]
+		ports--
+	}
+
+	// 6. Prefetches (lowest priority).
+	for n := 0; n < c.cfg.MaxPrefetches && ports > 0 && len(c.pq) > 0; n++ {
+		r := c.pq[0]
+		if !c.handlePrefetch(r) {
+			break
+		}
+		c.pq = c.pq[1:]
+		ports--
+	}
+
+	// 7. Integrate occupancy statistics.
+	c.Stats.Cycles++
+	c.Stats.MSHROccupancy += uint64(c.inUse)
+	if c.inUse == c.cfg.MSHRs {
+		c.Stats.MSHRFullCycles++
+	}
+}
+
+// handleRead processes one RQ entry; returns false to retry next cycle
+// (statistics count only the successful attempt).
+func (c *Cache) handleRead(r *mem.Request) bool {
+	if r.SpecBypass {
+		return c.handleSpec(r)
+	}
+	ls := c.lookup(r.Line)
+	if ls == nil {
+		if !c.missTo(r, r.Kind) {
+			return false // MSHR full; retry without double-counting
+		}
+		c.Stats.Accesses[r.Kind]++
+		c.Stats.Misses[r.Kind]++
+		c.notifyAccess(r, nil) // r.MergedPrefetch set by missTo if merged
+		return true
+	}
+	c.Stats.Accesses[r.Kind]++
+	c.notifyAccess(r, ls)
+	c.touch(ls)
+	if ls.prefetched {
+		ls.prefetched = false
+		c.Stats.PrefUseful++
+		r.HitPrefetched = true
+		r.FillLat = ls.fetchLat
+	}
+	if r.Kind == mem.KindRFO {
+		ls.dirty = true
+	}
+	c.respond(r, c.cfg.Level)
+	return true
+}
+
+// handleSpec processes a GhostMinion speculative probe. Hits are served
+// without any replacement-state update; misses allocate (or merge into)
+// an MSHR entry — GhostMinion propagates speculative requests through
+// the MSHRs of every level, which is exactly the contention §III-A
+// analyzes — but the eventual response does not install the line at
+// this level (invisible speculation).
+func (c *Cache) handleSpec(r *mem.Request) bool {
+	ls := c.lookup(r.Line)
+	if ls != nil {
+		c.Stats.SpecAccesses++
+		c.notifySpec(r, ls)
+		// The stored prefetch latency travels with the response (the
+		// X-LQ Hitp case) and the use is counted for accuracy
+		// statistics — measurement, not architectural state.
+		if ls.prefetched {
+			ls.prefetched = false
+			c.Stats.PrefUseful++
+			r.HitPrefetched = true
+			r.FillLat = ls.fetchLat
+		}
+		c.respond(r, c.cfg.Level)
+		return true
+	}
+	// Merge with an in-flight fetch of the same line (the shared,
+	// timestamp-ordered MSHR of GhostMinion). Merging with an in-flight
+	// prefetch is the secure system's "late prefetch" event.
+	for i := range c.mshr {
+		e := &c.mshr[i]
+		if e.valid && e.line == r.Line {
+			if e.kind == mem.KindPrefetch {
+				r.MergedPrefetch = true
+				c.Stats.PrefLate++
+			}
+			e.waiters = append(e.waiters, r)
+			c.Stats.SpecAccesses++
+			c.Stats.SpecMisses++
+			c.Stats.MSHRMerges++
+			c.notifySpec(r, nil)
+			return true
+		}
+	}
+	e := c.allocMSHR()
+	if e == nil {
+		return false // MSHR full: retry (head-of-line contention)
+	}
+	c.Stats.SpecAccesses++
+	c.Stats.SpecMisses++
+	c.notifySpec(r, nil)
+	c.initMSHR(e, r, mem.KindLoad, r.FillLevel)
+	e.spec = true
+	e.child.SpecBypass = true
+	return true
+}
+
+// notifySpec invokes the speculative-access hook.
+func (c *Cache) notifySpec(r *mem.Request, ls *lineState) {
+	if c.OnSpecAccess == nil {
+		return
+	}
+	ai := AccessInfo{Line: r.Line, IP: r.IP, Kind: r.Kind, Hit: ls != nil, Merged: r.MergedPrefetch, Cycle: c.now}
+	if ls != nil && ls.prefetched {
+		ai.HitPrefetched = true
+		ai.PrefFetchLat = ls.fetchLat
+	}
+	c.OnSpecAccess(ai)
+}
+
+// handleWrite processes one WQ entry; returns false to retry.
+func (c *Cache) handleWrite(r *mem.Request) bool {
+	if ls := c.lookup(r.Line); ls != nil {
+		// Write hit. For commit writes and clean propagations this is
+		// the "data already found at this level" case: the access costs
+		// the port/bandwidth and refreshes LRU, and propagation stops
+		// here (the redundant work SUF exists to avoid).
+		c.Stats.Accesses[r.Kind]++
+		c.touch(ls)
+		if r.Dirty {
+			ls.dirty = true
+		}
+		if r.Done != nil {
+			c.respond(r, c.cfg.Level)
+		}
+		return true
+	}
+	// Write miss: we carry full-line data (writeback or commit write),
+	// so install directly — no fetch — subject to fill bandwidth.
+	fr := &fillRecord{req: r, isWrite: true, dirty: r.Dirty, wbb: r.WBBits}
+	if !c.applyFill(fr) {
+		// Victim writeback blocked; retry the WQ head next cycle.
+		return false
+	}
+	c.Stats.Accesses[r.Kind]++
+	c.Stats.Misses[r.Kind]++
+	if r.Done != nil {
+		c.respond(r, c.cfg.Level)
+	}
+	return true
+}
+
+// handlePrefetch processes one PQ entry; returns false to retry.
+func (c *Cache) handlePrefetch(r *mem.Request) bool {
+	if r.FillLevel > c.cfg.Level {
+		// Destined for a deeper level: pass through (bandwidth only).
+		if len(c.fwdq) >= fwdCap {
+			return false
+		}
+		if c.next != nil && !c.next.Enqueue(r) {
+			c.fwdq = append(c.fwdq, r)
+		}
+		return true
+	}
+	if ls := c.lookup(r.Line); ls != nil {
+		// Already present. A locally-generated prefetch is redundant and
+		// dropped; a child of an upper level's MSHR must respond so the
+		// parent fill completes.
+		c.Stats.Accesses[r.Kind]++
+		c.Stats.PrefHitLocal++
+		c.touch(ls)
+		if r.Done != nil {
+			c.respond(r, c.cfg.Level)
+		}
+		return true
+	}
+	if !c.missToPrefetch(r) {
+		if r.Done != nil {
+			// An upper level waits on this child: retry rather than
+			// orphan the parent MSHR.
+			return false
+		}
+		// MSHR full: demote the prefetch to the next level rather than
+		// losing it outright — the line still gets closer to the core.
+		if c.next != nil && c.cfg.Level < mem.LvlLLC && len(c.fwdq) < fwdCap {
+			r.FillLevel = c.cfg.Level + 1
+			c.Stats.Accesses[r.Kind]++
+			c.Stats.Misses[r.Kind]++
+			if !c.next.Enqueue(r) {
+				c.fwdq = append(c.fwdq, r)
+			}
+			return true
+		}
+		c.Stats.PrefDroppedQ++
+		return true
+	}
+	c.Stats.Accesses[r.Kind]++
+	c.Stats.Misses[r.Kind]++
+	return true
+}
+
+// missTo allocates an MSHR for a demand-class miss and forwards below.
+// Returns false (retry) when the MSHR is full.
+func (c *Cache) missTo(r *mem.Request, kind mem.Kind) bool {
+	// Merge with an in-flight entry if present.
+	for i := range c.mshr {
+		e := &c.mshr[i]
+		if e.valid && e.line == r.Line {
+			if e.kind == mem.KindPrefetch && kind.IsDemand() {
+				// Late prefetch: demand promotes the in-flight prefetch.
+				e.kind = kind
+				r.MergedPrefetch = true
+				c.Stats.PrefetchPromotions++
+				c.Stats.PrefLate++
+			}
+			// A non-speculative joiner makes the eventual fill install.
+			e.spec = false
+			e.waiters = append(e.waiters, r)
+			c.Stats.MSHRMerges++
+			return true
+		}
+	}
+	e := c.allocMSHR()
+	if e == nil {
+		return false
+	}
+	c.initMSHR(e, r, kind, r.FillLevel)
+	return true
+}
+
+// missToPrefetch allocates an MSHR for a prefetch miss; returns false
+// if none is free (caller drops the prefetch).
+func (c *Cache) missToPrefetch(r *mem.Request) bool {
+	for i := range c.mshr {
+		e := &c.mshr[i]
+		if e.valid && e.line == r.Line {
+			// Already being fetched. A waiting child rides along; a
+			// local prefetch needs nothing — unless the entry is a
+			// speculative probe, in which case the (non-speculative)
+			// prefetch upgrades it to an installing fetch.
+			if e.spec {
+				e.spec = false
+				e.kind = mem.KindPrefetch
+			}
+			if r.Done != nil {
+				e.waiters = append(e.waiters, r)
+				c.Stats.MSHRMerges++
+			}
+			return true
+		}
+	}
+	e := c.allocMSHR()
+	if e == nil {
+		return false
+	}
+	c.initMSHR(e, r, mem.KindPrefetch, r.FillLevel)
+	return true
+}
+
+func (c *Cache) allocMSHR() *mshrEntry {
+	for i := range c.mshr {
+		if !c.mshr[i].valid {
+			c.inUse++
+			return &c.mshr[i]
+		}
+	}
+	return nil
+}
+
+func (c *Cache) initMSHR(e *mshrEntry, r *mem.Request, kind mem.Kind, fillLevel mem.Level) {
+	*e = mshrEntry{
+		valid:     true,
+		line:      r.Line,
+		kind:      kind,
+		waiters:   append(e.waiters[:0], r),
+		alloc:     c.now,
+		fillLevel: fillLevel,
+		timestamp: r.Timestamp,
+	}
+	child := &mem.Request{
+		Line:      r.Line,
+		IP:        r.IP,
+		Kind:      kind,
+		Core:      r.Core,
+		Issued:    c.now,
+		Timestamp: r.Timestamp,
+		FillLevel: fillLevel,
+	}
+	if kind == mem.KindPrefetch {
+		child.Kind = mem.KindPrefetch
+	} else if kind == mem.KindRFO || kind == mem.KindRefetch {
+		// RFOs and refetches look like loads below this level.
+		child.Kind = mem.KindLoad
+	}
+	child.Done = func(cr *mem.Request) {
+		c.fills = append(c.fills, &fillRecord{req: cr, entry: e})
+	}
+	e.child = child
+	e.forwarded = c.next != nil && c.next.Enqueue(child)
+	if c.next != nil && !e.forwarded {
+		c.unforwarded = append(c.unforwarded, e)
+	}
+	if c.next == nil {
+		// Isolated level (unit tests): complete after a fixed penalty.
+		const testPenalty = 50
+		slot := (uint64(c.now) + testPenalty) % wheelSize
+		child.ServedBy = c.cfg.Level + 1
+		c.wheel[slot] = append(c.wheel[slot], &mem.Request{
+			Done: func(*mem.Request) { c.fills = append(c.fills, &fillRecord{req: child, entry: e}) },
+		})
+		e.forwarded = true
+	}
+}
+
+// applyFill installs a line (from a fill response or a full-line
+// write), evicting a victim if needed. Returns false when the victim's
+// writeback cannot be enqueued below (retry next cycle).
+func (c *Cache) applyFill(fr *fillRecord) bool {
+	if fr.entry != nil && fr.entry.spec {
+		// Speculative-probe response: complete the waiters, install
+		// nothing (invisible speculation — the data lands in the GM).
+		c.completeMSHR(fr.entry, fr.req)
+		return true
+	}
+	set := c.setOf(fr.req.Line)
+	var way *lineState
+	for i := range set {
+		if set[i].valid && set[i].line == fr.req.Line {
+			way = &set[i] // refill of a present line (races are benign)
+			break
+		}
+	}
+	if way == nil {
+		for i := range set {
+			if !set[i].valid {
+				way = &set[i]
+				break
+			}
+		}
+	}
+	if way == nil {
+		way = c.victimIn(set)
+		if !c.evict(way) {
+			return false
+		}
+	}
+	isPref := fr.entry != nil && fr.entry.kind == mem.KindPrefetch
+	var lat mem.Cycle
+	if fr.entry != nil {
+		lat = c.now - fr.entry.alloc
+	}
+	*way = lineState{
+		line:       fr.req.Line,
+		valid:      true,
+		dirty:      fr.dirty,
+		prefetched: isPref,
+		fetchLat:   lat,
+		rrpv:       2, // SRRIP: long re-reference on insertion
+	}
+	if isPref {
+		way.rrpv = 3 // prefetches insert with a distant prediction
+	}
+	if fr.isWrite && !fr.dirty {
+		// Clean install via commit write or GhostMinion propagation:
+		// bit 0 of the carried writeback bits is this level's
+		// propagate-on-eviction flag, the rest belong to levels above.
+		way.propagate = fr.wbb&1 != 0
+		way.wbbRest = fr.wbb >> 1
+	}
+	// Refresh recency without touch(): touch would clear the SRRIP
+	// insertion prediction set above.
+	c.clock++
+	way.lru = c.clock
+	if isPref {
+		c.Stats.PrefFilled++
+	}
+	if c.OnFill != nil && fr.entry != nil {
+		fi := FillInfo{Line: fr.req.Line, Latency: lat, Prefetch: isPref, Cycle: c.now}
+		if len(fr.entry.waiters) > 0 {
+			fi.IP = fr.entry.waiters[0].IP
+			fi.ReqIssued = fr.entry.waiters[0].Issued
+		}
+		c.OnFill(fi)
+	}
+	if fr.entry != nil {
+		c.completeMSHR(fr.entry, fr.req)
+	}
+	return true
+}
+
+// evict removes a valid line, emitting a writeback when the line is
+// dirty or marked for GhostMinion propagation. Returns false when the
+// writeback could not be enqueued.
+func (c *Cache) evict(ls *lineState) bool {
+	if !ls.valid {
+		return true
+	}
+	if (ls.dirty || ls.propagate) && c.next != nil {
+		wb := &mem.Request{
+			Line:   ls.line,
+			Kind:   mem.KindWriteback,
+			Issued: c.now,
+			Dirty:  ls.dirty,
+			WBBits: ls.wbbRest,
+		}
+		if !c.next.Enqueue(wb) {
+			return false
+		}
+		c.Stats.WritebacksOut++
+		if !ls.dirty {
+			c.Stats.PropagationsOut++
+		}
+	}
+	c.Stats.Evictions++
+	if c.OnEvict != nil {
+		c.OnEvict(ls.line)
+	}
+	ls.valid = false
+	return true
+}
+
+// completeMSHR wakes all waiters of a filled entry.
+func (c *Cache) completeMSHR(e *mshrEntry, child *mem.Request) {
+	served := child.ServedBy
+	for _, w := range e.waiters {
+		w.ServedBy = served
+		w.FillLat = c.now - w.Issued
+		if w.Kind.IsDemand() || w.Kind == mem.KindRefetch {
+			if w.Kind == mem.KindLoad && !w.SpecBypass {
+				c.Stats.DemandMissLatSum += uint64(c.now - w.Issued)
+				c.Stats.DemandMissLatCnt++
+			}
+			if w.Kind == mem.KindRFO {
+				// The freshly installed line is dirty.
+				if ls := c.lookup(w.Line); ls != nil {
+					ls.dirty = true
+				}
+			}
+		}
+		if w.Done != nil {
+			w.Done(w)
+		}
+	}
+	e.valid = false
+	e.waiters = e.waiters[:0]
+	c.inUse--
+}
+
+// notifyAccess invokes the training hook for demand accesses.
+func (c *Cache) notifyAccess(r *mem.Request, ls *lineState) {
+	if c.OnAccess == nil || !r.Kind.IsDemand() && r.Kind != mem.KindRefetch {
+		return
+	}
+	ai := AccessInfo{
+		Line:   r.Line,
+		IP:     r.IP,
+		Kind:   r.Kind,
+		Hit:    ls != nil,
+		Merged: r.MergedPrefetch,
+		Cycle:  c.now,
+	}
+	if ls != nil && ls.prefetched {
+		ai.HitPrefetched = true
+		ai.PrefFetchLat = ls.fetchLat
+	}
+	c.OnAccess(ai)
+}

@@ -1,0 +1,417 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"secpref/internal/mem"
+)
+
+// mockNext is a stub lower level that responds to every read
+// immediately (Done fires synchronously) and accepts all writes.
+type mockNext struct {
+	reads      []*mem.Request
+	writes     []*mem.Request
+	rejectAll  bool
+	noRespond  bool
+	lastServed mem.Level
+}
+
+func (m *mockNext) Enqueue(r *mem.Request) bool {
+	if m.rejectAll {
+		return false
+	}
+	switch r.Kind {
+	case mem.KindWriteback, mem.KindCommitWrite:
+		m.writes = append(m.writes, r)
+	default:
+		m.reads = append(m.reads, r)
+		if !m.noRespond {
+			r.ServedBy = mem.LvlDRAM
+			if r.Done != nil {
+				r.Done(r)
+			}
+		}
+	}
+	return true
+}
+
+// tinyConfig is a small, easily-conflicted cache: 8 sets x 2 ways.
+func tinyConfig() Config {
+	return Config{
+		Name: "T", Level: mem.LvlL1D,
+		SizeKiB: 1, Ways: 2, Latency: 2, MSHRs: 4,
+		RQSize: 8, WQSize: 8, PQSize: 8,
+		MaxReads: 2, MaxWrites: 2, MaxPrefetches: 2, MaxFills: 2,
+	}
+}
+
+// lineInSet maps an index to the i-th line falling in set s of the
+// 8-set tiny cache.
+func lineInSet(s, i uint64) mem.Line { return mem.Line(s + 8*i) }
+
+// runTicks advances the cache n cycles starting from cycle start.
+func runTicks(c *Cache, start mem.Cycle, n int) mem.Cycle {
+	for i := 0; i < n; i++ {
+		start++
+		c.Tick(start)
+	}
+	return start
+}
+
+func loadReq(l mem.Line, done *bool) *mem.Request {
+	r := &mem.Request{Line: l, IP: 0x400, Kind: mem.KindLoad}
+	if done != nil {
+		r.Done = func(*mem.Request) { *done = true }
+	}
+	return r
+}
+
+func TestMissFillsAndHits(t *testing.T) {
+	next := &mockNext{}
+	c := New(tinyConfig(), next)
+	done := false
+	r := loadReq(lineInSet(0, 0), &done)
+	if !c.Enqueue(r) {
+		t.Fatal("enqueue rejected")
+	}
+	now := runTicks(c, 0, 10)
+	if !done {
+		t.Fatal("miss never completed")
+	}
+	if r.ServedBy != mem.LvlDRAM {
+		t.Errorf("ServedBy = %v, want DRAM", r.ServedBy)
+	}
+	if !c.Contains(r.Line) {
+		t.Fatal("line not installed after fill")
+	}
+	// Second access must hit locally.
+	done2 := false
+	r2 := loadReq(r.Line, &done2)
+	c.Enqueue(r2)
+	runTicks(c, now, 5)
+	if !done2 || r2.ServedBy != mem.LvlL1D {
+		t.Fatalf("expected local hit, ServedBy=%v done=%v", r2.ServedBy, done2)
+	}
+	if got := len(next.reads); got != 1 {
+		t.Errorf("%d reads reached next level, want 1", got)
+	}
+	if c.Stats.Misses[mem.KindLoad] != 1 || c.Stats.Accesses[mem.KindLoad] != 2 {
+		t.Errorf("stats: %d misses / %d accesses", c.Stats.Misses[mem.KindLoad], c.Stats.Accesses[mem.KindLoad])
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	next := &mockNext{}
+	c := New(tinyConfig(), next)
+	now := mem.Cycle(0)
+	// Fill both ways of set 0, then a third line: the first-touched must
+	// be the victim.
+	for i := uint64(0); i < 3; i++ {
+		c.Enqueue(loadReq(lineInSet(0, i), nil))
+		now = runTicks(c, now, 8)
+	}
+	if c.Contains(lineInSet(0, 0)) {
+		t.Error("LRU line survived eviction")
+	}
+	if !c.Contains(lineInSet(0, 1)) || !c.Contains(lineInSet(0, 2)) {
+		t.Error("wrong victim evicted")
+	}
+}
+
+func TestMSHRMergeSharesOneFetch(t *testing.T) {
+	next := &mockNext{noRespond: true}
+	c := New(tinyConfig(), next)
+	d1, d2 := false, false
+	c.Enqueue(loadReq(lineInSet(1, 0), &d1))
+	c.Enqueue(loadReq(lineInSet(1, 0), &d2))
+	now := runTicks(c, 0, 4)
+	if len(next.reads) != 1 {
+		t.Fatalf("%d fetches for one line, want 1 (merge)", len(next.reads))
+	}
+	if c.Stats.MSHRMerges != 1 {
+		t.Errorf("MSHRMerges = %d, want 1", c.Stats.MSHRMerges)
+	}
+	// Respond manually: both waiters complete.
+	child := next.reads[0]
+	child.ServedBy = mem.LvlDRAM
+	child.Done(child)
+	runTicks(c, now, 4)
+	if !d1 || !d2 {
+		t.Fatalf("waiters incomplete: %v %v", d1, d2)
+	}
+}
+
+func TestLatePrefetchPromotion(t *testing.T) {
+	next := &mockNext{noRespond: true}
+	c := New(tinyConfig(), next)
+	if !c.Prefetch(lineInSet(2, 0), 0x400, mem.LvlL1D, 0) {
+		t.Fatal("prefetch rejected")
+	}
+	now := runTicks(c, 0, 3) // prefetch allocates MSHR, forwards
+	done := false
+	r := loadReq(lineInSet(2, 0), &done)
+	c.Enqueue(r)
+	now = runTicks(c, now, 3)
+	if !r.MergedPrefetch {
+		t.Error("demand did not merge with in-flight prefetch")
+	}
+	if c.Stats.PrefLate != 1 || c.Stats.PrefetchPromotions != 1 {
+		t.Errorf("late=%d promotions=%d, want 1/1", c.Stats.PrefLate, c.Stats.PrefetchPromotions)
+	}
+	child := next.reads[0]
+	child.ServedBy = mem.LvlDRAM
+	child.Done(child)
+	runTicks(c, now, 4)
+	if !done {
+		t.Fatal("promoted demand never completed")
+	}
+}
+
+func TestUsefulPrefetchAccounting(t *testing.T) {
+	next := &mockNext{}
+	c := New(tinyConfig(), next)
+	c.Prefetch(lineInSet(3, 0), 0x400, mem.LvlL1D, 0)
+	now := runTicks(c, 0, 8)
+	if c.Stats.PrefFilled != 1 {
+		t.Fatalf("PrefFilled = %d, want 1", c.Stats.PrefFilled)
+	}
+	done := false
+	r := loadReq(lineInSet(3, 0), &done)
+	c.Enqueue(r)
+	runTicks(c, now, 5)
+	if !done || !r.HitPrefetched {
+		t.Fatalf("demand should hit the prefetched line (done=%v hitPref=%v)", done, r.HitPrefetched)
+	}
+	if c.Stats.PrefUseful != 1 {
+		t.Errorf("PrefUseful = %d, want 1", c.Stats.PrefUseful)
+	}
+}
+
+func TestSpecProbeDoesNotDisturbReplacement(t *testing.T) {
+	next := &mockNext{}
+	c := New(tinyConfig(), next)
+	now := mem.Cycle(0)
+	// Install A then B in set 0 (A becomes LRU).
+	a, b, fresh := lineInSet(0, 0), lineInSet(0, 1), lineInSet(0, 2)
+	c.Enqueue(loadReq(a, nil))
+	now = runTicks(c, now, 8)
+	c.Enqueue(loadReq(b, nil))
+	now = runTicks(c, now, 8)
+	// Speculative probe of A must NOT refresh its recency.
+	probe := &mem.Request{Line: a, Kind: mem.KindLoad, SpecBypass: true}
+	c.Enqueue(probe)
+	now = runTicks(c, now, 5)
+	// Install a third line: the victim must still be A.
+	c.Enqueue(loadReq(fresh, nil))
+	runTicks(c, now, 8)
+	if c.Contains(a) {
+		t.Error("spec probe refreshed LRU state (A survived)")
+	}
+	if !c.Contains(b) {
+		t.Error("wrong victim: B was evicted")
+	}
+}
+
+func TestSpecMissDoesNotInstall(t *testing.T) {
+	next := &mockNext{}
+	c := New(tinyConfig(), next)
+	done := false
+	probe := &mem.Request{Line: lineInSet(1, 5), Kind: mem.KindLoad, SpecBypass: true,
+		Done: func(*mem.Request) { done = true }}
+	c.Enqueue(probe)
+	runTicks(c, 0, 8)
+	if !done {
+		t.Fatal("spec probe never completed")
+	}
+	if probe.ServedBy != mem.LvlDRAM {
+		t.Errorf("ServedBy = %v", probe.ServedBy)
+	}
+	if c.Contains(probe.Line) {
+		t.Fatal("speculative miss installed a line (visible speculation!)")
+	}
+	if c.Stats.SpecMisses != 1 {
+		t.Errorf("SpecMisses = %d", c.Stats.SpecMisses)
+	}
+}
+
+func TestSpecThenDemandUpgradesToInstall(t *testing.T) {
+	next := &mockNext{noRespond: true}
+	c := New(tinyConfig(), next)
+	specDone, demDone := false, false
+	probe := &mem.Request{Line: lineInSet(2, 3), Kind: mem.KindLoad, SpecBypass: true,
+		Done: func(*mem.Request) { specDone = true }}
+	c.Enqueue(probe)
+	now := runTicks(c, 0, 3)
+	// A non-speculative refetch for the same line joins the entry.
+	dem := &mem.Request{Line: probe.Line, Kind: mem.KindRefetch,
+		Done: func(*mem.Request) { demDone = true }}
+	c.Enqueue(dem)
+	now = runTicks(c, now, 3)
+	child := next.reads[0]
+	child.ServedBy = mem.LvlDRAM
+	child.Done(child)
+	runTicks(c, now, 5)
+	if !specDone || !demDone {
+		t.Fatalf("waiters incomplete: spec=%v dem=%v", specDone, demDone)
+	}
+	if !c.Contains(probe.Line) {
+		t.Fatal("joined demand should have installed the line")
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	next := &mockNext{}
+	c := New(tinyConfig(), next)
+	now := mem.Cycle(0)
+	dirty := lineInSet(0, 0)
+	rfo := &mem.Request{Line: dirty, Kind: mem.KindRFO}
+	c.Enqueue(rfo)
+	now = runTicks(c, now, 8)
+	// Evict it with two more lines in the set.
+	c.Enqueue(loadReq(lineInSet(0, 1), nil))
+	now = runTicks(c, now, 8)
+	c.Enqueue(loadReq(lineInSet(0, 2), nil))
+	runTicks(c, now, 8)
+	if len(next.writes) != 1 {
+		t.Fatalf("%d writebacks, want 1", len(next.writes))
+	}
+	wb := next.writes[0]
+	if wb.Line != dirty || !wb.Dirty {
+		t.Errorf("writeback %+v, want dirty line %#x", wb, dirty)
+	}
+}
+
+func TestCommitWritePropagationChain(t *testing.T) {
+	next := &mockNext{}
+	c := New(tinyConfig(), next)
+	now := mem.Cycle(0)
+	target := lineInSet(1, 0)
+	// Full GhostMinion update: propagate this level and the next.
+	cw := &mem.Request{Line: target, Kind: mem.KindCommitWrite, WBBits: 0b11}
+	c.Enqueue(cw)
+	now = runTicks(c, now, 4)
+	if !c.Contains(target) {
+		t.Fatal("commit write did not install")
+	}
+	// Evict: a clean propagation writeback must go down carrying the
+	// remaining bit.
+	c.Enqueue(loadReq(lineInSet(1, 1), nil))
+	now = runTicks(c, now, 8)
+	c.Enqueue(loadReq(lineInSet(1, 2), nil))
+	runTicks(c, now, 8)
+	if len(next.writes) != 1 {
+		t.Fatalf("%d propagation writebacks, want 1", len(next.writes))
+	}
+	wb := next.writes[0]
+	if wb.Dirty {
+		t.Error("propagation writeback marked dirty")
+	}
+	if wb.WBBits != 0b1 {
+		t.Errorf("carried WBBits = %#b, want 0b1", wb.WBBits)
+	}
+	if c.Stats.PropagationsOut != 1 {
+		t.Errorf("PropagationsOut = %d", c.Stats.PropagationsOut)
+	}
+}
+
+func TestSUFTrimmedCommitWriteStopsHere(t *testing.T) {
+	next := &mockNext{}
+	c := New(tinyConfig(), next)
+	now := mem.Cycle(0)
+	target := lineInSet(2, 0)
+	// SUF hit-level = L2: install at L1D, do not propagate on eviction.
+	cw := &mem.Request{Line: target, Kind: mem.KindCommitWrite, WBBits: 0b00}
+	c.Enqueue(cw)
+	now = runTicks(c, now, 4)
+	c.Enqueue(loadReq(lineInSet(2, 1), nil))
+	now = runTicks(c, now, 8)
+	c.Enqueue(loadReq(lineInSet(2, 2), nil))
+	runTicks(c, now, 8)
+	if len(next.writes) != 0 {
+		t.Fatalf("SUF-trimmed line still propagated: %v", next.writes)
+	}
+}
+
+func TestCommitWriteHitOnlyTouches(t *testing.T) {
+	next := &mockNext{}
+	c := New(tinyConfig(), next)
+	now := mem.Cycle(0)
+	target := lineInSet(3, 0)
+	c.Enqueue(loadReq(target, nil))
+	now = runTicks(c, now, 8)
+	// Commit write finds the line present: propagation must not re-arm.
+	cw := &mem.Request{Line: target, Kind: mem.KindCommitWrite, WBBits: 0b11}
+	c.Enqueue(cw)
+	now = runTicks(c, now, 4)
+	c.Enqueue(loadReq(lineInSet(3, 1), nil))
+	now = runTicks(c, now, 8)
+	c.Enqueue(loadReq(lineInSet(3, 2), nil))
+	runTicks(c, now, 8)
+	if len(next.writes) != 0 {
+		t.Fatalf("commit-write hit re-armed propagation: %v", next.writes)
+	}
+}
+
+func TestQueueFullRejection(t *testing.T) {
+	next := &mockNext{}
+	cfg := tinyConfig()
+	cfg.RQSize = 2
+	c := New(cfg, next)
+	if !c.Enqueue(loadReq(1, nil)) || !c.Enqueue(loadReq(2, nil)) {
+		t.Fatal("first two enqueues should succeed")
+	}
+	if c.Enqueue(loadReq(3, nil)) {
+		t.Fatal("third enqueue should be rejected")
+	}
+	if c.Stats.RQFull != 1 {
+		t.Errorf("RQFull = %d", c.Stats.RQFull)
+	}
+}
+
+func TestDeepFillPrefetchPassesThrough(t *testing.T) {
+	next := &mockNext{}
+	c := New(tinyConfig(), next)
+	// FillLevel deeper than this cache: must not install here.
+	r := &mem.Request{Line: lineInSet(0, 7), Kind: mem.KindPrefetch, FillLevel: mem.LvlL2}
+	c.Enqueue(r)
+	runTicks(c, 0, 4)
+	if c.Contains(r.Line) {
+		t.Fatal("deep-fill prefetch installed at the wrong level")
+	}
+	if len(next.reads) != 1 {
+		t.Fatalf("pass-through did not reach next level")
+	}
+}
+
+// TestPrefetchAccountingInvariant drives random traffic and asserts
+// PrefUseful can never exceed PrefFilled — every useful-count needs a
+// prior installed prefetch.
+func TestPrefetchAccountingInvariant(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		next := &mockNext{}
+		c := New(tinyConfig(), next)
+		rng := rand.New(rand.NewSource(seed))
+		now := mem.Cycle(0)
+		for op := 0; op < 3000; op++ {
+			l := mem.Line(rng.Intn(32))
+			switch rng.Intn(5) {
+			case 0:
+				c.Prefetch(l, 0x400, mem.LvlL1D, now)
+			case 1:
+				c.Enqueue(&mem.Request{Line: l, Kind: mem.KindLoad, SpecBypass: true})
+			case 2:
+				c.Enqueue(&mem.Request{Line: l, Kind: mem.KindRFO})
+			case 3:
+				c.Enqueue(&mem.Request{Line: l, Kind: mem.KindCommitWrite, WBBits: uint8(rng.Intn(4))})
+			default:
+				c.Enqueue(loadReq(l, nil))
+			}
+			now = runTicks(c, now, rng.Intn(3)+1)
+		}
+		now = runTicks(c, now, 50)
+		if c.Stats.PrefUseful > c.Stats.PrefFilled {
+			t.Fatalf("seed %d: PrefUseful %d > PrefFilled %d", seed, c.Stats.PrefUseful, c.Stats.PrefFilled)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package cache
+
+import "secpref/internal/mem"
+
+// Policy selects the replacement policy.
+type Policy uint8
+
+const (
+	// PolicyLRU is least-recently-used (the paper's Table II baseline).
+	PolicyLRU Policy = iota
+	// PolicySRRIP is static re-reference interval prediction with 2-bit
+	// RRPVs; prefetched lines insert with a distant prediction, which
+	// makes the cache more pollution-resistant (ablation option).
+	PolicySRRIP
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	if p == PolicySRRIP {
+		return "srrip"
+	}
+	return "lru"
+}
+
+// Config describes one cache level. Defaults follow the paper's
+// Table II baseline (an Intel Sunny-Cove-like hierarchy).
+type Config struct {
+	Name    string
+	Level   mem.Level
+	SizeKiB int
+	Ways    int
+	// Latency is the hit (tag+data) latency in cycles.
+	Latency mem.Cycle
+	MSHRs   int
+
+	// Queue capacities.
+	RQSize, WQSize, PQSize int
+
+	// Per-cycle bandwidth: tag lookups for reads/writes/prefetches and
+	// line installs.
+	MaxReads, MaxWrites, MaxPrefetches, MaxFills int
+
+	// TotalPorts, when non-zero, is a shared per-cycle budget across
+	// fills, writes, reads, and prefetch pops (on top of the per-class
+	// limits). This models the real port sharing that makes
+	// GhostMinion's commit traffic contend with demand probes — the
+	// effect SUF exists to relieve (§IV: "consume L1D ports to just
+	// update the LRU").
+	TotalPorts int
+
+	// Policy selects the replacement policy (default LRU).
+	Policy Policy
+}
+
+// Sets returns the number of sets.
+func (c Config) Sets() int {
+	lines := c.SizeKiB * 1024 / mem.LineSize
+	return lines / c.Ways
+}
+
+// Lines returns the total number of cache lines.
+func (c Config) Lines() int { return c.SizeKiB * 1024 / mem.LineSize }
+
+// L1DConfig returns the Table II L1D: 48 KB, 12-way, 5 cycles, 16 MSHRs.
+func L1DConfig() Config {
+	return Config{
+		Name: "L1D", Level: mem.LvlL1D,
+		SizeKiB: 48, Ways: 12, Latency: 5, MSHRs: 16,
+		RQSize: 64, WQSize: 64, PQSize: 32,
+		MaxReads: 2, MaxWrites: 2, MaxPrefetches: 1, MaxFills: 2,
+		TotalPorts: 3,
+	}
+}
+
+// L2Config returns the Table II L2: 512 KB, 8-way, 15 cycles, 32 MSHRs,
+// non-inclusive.
+func L2Config() Config {
+	return Config{
+		Name: "L2", Level: mem.LvlL2,
+		SizeKiB: 512, Ways: 8, Latency: 15, MSHRs: 32,
+		RQSize: 48, WQSize: 48, PQSize: 32,
+		MaxReads: 1, MaxWrites: 1, MaxPrefetches: 1, MaxFills: 1,
+	}
+}
+
+// LLCConfig returns one Table II LLC bank: 2 MB, 16-way, 35 cycles,
+// 64 MSHRs, non-inclusive. Multi-core systems get one bank per core.
+func LLCConfig(cores int) Config {
+	return Config{
+		Name: "LLC", Level: mem.LvlLLC,
+		SizeKiB: 2048 * cores, Ways: 16, Latency: 35, MSHRs: 64 * cores,
+		RQSize: 48 * cores, WQSize: 48 * cores, PQSize: 32 * cores,
+		MaxReads: cores, MaxWrites: cores, MaxPrefetches: 1, MaxFills: cores,
+	}
+}

@@ -1,0 +1,41 @@
+package cache
+
+import "fmt"
+
+// Debug accessors expose internal occupancy for diagnostics and tests.
+
+// DebugQueues returns the read queue contents (length only matters).
+func (c *Cache) DebugQueues() []int { return make([]int, len(c.rq)) }
+
+// DebugWQ returns the write queue length.
+func (c *Cache) DebugWQ() int { return len(c.wq) }
+
+// DebugPQ returns the prefetch queue length.
+func (c *Cache) DebugPQ() int { return len(c.pq) }
+
+// DebugFills returns the pending fill count.
+func (c *Cache) DebugFills() int { return len(c.fills) }
+
+// DebugFwd returns the pass-through buffer length.
+func (c *Cache) DebugFwd() int { return len(c.fwdq) }
+
+// DebugMSHR describes every valid MSHR entry.
+func (c *Cache) DebugMSHR() []string {
+	var out []string
+	for i := range c.mshr {
+		e := &c.mshr[i]
+		if e.valid {
+			out = append(out, fmt.Sprintf("line=%#x kind=%v waiters=%d fwd=%v alloc=%d fill=%v",
+				uint64(e.line), e.kind, len(e.waiters), e.forwarded, e.alloc, e.fillLevel))
+		}
+	}
+	return out
+}
+
+// DebugFillHead describes the blocked fill at the head, if any.
+func (c *Cache) DebugFillHead() string {
+	if len(c.fills) == 0 {
+		return "none"
+	}
+	return c.fills[0].req.String()
+}

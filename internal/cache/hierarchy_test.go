@@ -1,0 +1,94 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"secpref/internal/mem"
+)
+
+// TestTwoLevelInvariants drives random traffic through an L1-L2 chain
+// backed by an auto-responding memory and asserts the accounting
+// invariants hold at both levels.
+func TestTwoLevelInvariants(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		next := &mockNext{}
+		l2cfg := tinyConfig()
+		l2cfg.Name, l2cfg.Level = "T2", mem.LvlL2
+		l2cfg.SizeKiB, l2cfg.Ways = 2, 2 // 16 sets
+		l2 := New(l2cfg, next)
+		l1 := New(tinyConfig(), l2)
+
+		rng := rand.New(rand.NewSource(seed))
+		now := mem.Cycle(0)
+		step := func(n int) {
+			for i := 0; i < n; i++ {
+				now++
+				l1.Tick(now)
+				l2.Tick(now)
+			}
+		}
+		for op := 0; op < 4000; op++ {
+			l := mem.Line(rng.Intn(64))
+			switch rng.Intn(6) {
+			case 0:
+				l1.Prefetch(l, 0x400, mem.LvlL1D, now)
+			case 1:
+				l1.Prefetch(l, 0x404, mem.LvlL2, now) // deep fill
+			case 2:
+				l1.Enqueue(&mem.Request{Line: l, Kind: mem.KindLoad, SpecBypass: true})
+			case 3:
+				l1.Enqueue(&mem.Request{Line: l, Kind: mem.KindRFO})
+			case 4:
+				l1.Enqueue(&mem.Request{Line: l, Kind: mem.KindCommitWrite, WBBits: uint8(rng.Intn(4))})
+			default:
+				l1.Enqueue(&mem.Request{Line: l, Kind: mem.KindLoad})
+			}
+			step(rng.Intn(3) + 1)
+		}
+		step(200)
+		for _, c := range []*Cache{l1, l2} {
+			if c.Stats.PrefUseful > c.Stats.PrefFilled {
+				t.Errorf("seed %d %s: PrefUseful %d > PrefFilled %d",
+					seed, c.Config().Name, c.Stats.PrefUseful, c.Stats.PrefFilled)
+			}
+			if c.Stats.DemandMissLatCnt > c.Stats.Misses[mem.KindLoad]+c.Stats.MSHRMerges {
+				t.Errorf("seed %d %s: more measured miss latencies than misses", seed, c.Config().Name)
+			}
+		}
+	}
+}
+
+// TestNoDuplicateLinesInSet asserts the structural invariant that a
+// line is never present in two ways of its set.
+func TestNoDuplicateLinesInSet(t *testing.T) {
+	next := &mockNext{}
+	c := New(tinyConfig(), next)
+	rng := rand.New(rand.NewSource(7))
+	now := mem.Cycle(0)
+	for op := 0; op < 5000; op++ {
+		l := mem.Line(rng.Intn(24))
+		switch rng.Intn(3) {
+		case 0:
+			c.Prefetch(l, 0x400, mem.LvlL1D, now)
+		case 1:
+			c.Enqueue(&mem.Request{Line: l, Kind: mem.KindCommitWrite, WBBits: 0b11})
+		default:
+			c.Enqueue(&mem.Request{Line: l, Kind: mem.KindLoad})
+		}
+		now = runTicks(c, now, rng.Intn(2)+1)
+		for s := range c.sets {
+			seen := map[mem.Line]bool{}
+			for i := range c.sets[s] {
+				ls := &c.sets[s][i]
+				if !ls.valid {
+					continue
+				}
+				if seen[ls.line] {
+					t.Fatalf("op %d: line %#x duplicated in set %d", op, uint64(ls.line), s)
+				}
+				seen[ls.line] = true
+			}
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package cache
+
+import (
+	"testing"
+
+	"secpref/internal/mem"
+)
+
+func srripConfig() Config {
+	cfg := tinyConfig()
+	cfg.Policy = PolicySRRIP
+	return cfg
+}
+
+func TestSRRIPEvictsDistantLines(t *testing.T) {
+	next := &mockNext{}
+	c := New(srripConfig(), next)
+	now := mem.Cycle(0)
+	// Install A, reference it again (rrpv 0); install B (rrpv 2).
+	a, b, fresh := lineInSet(0, 0), lineInSet(0, 1), lineInSet(0, 2)
+	c.Enqueue(loadReq(a, nil))
+	now = runTicks(c, now, 8)
+	c.Enqueue(loadReq(b, nil))
+	now = runTicks(c, now, 8)
+	c.Enqueue(loadReq(a, nil)) // re-reference A
+	now = runTicks(c, now, 8)
+	// Insert a third line: B (distant) must be the victim even though A
+	// is older.
+	c.Enqueue(loadReq(fresh, nil))
+	runTicks(c, now, 8)
+	if !c.Contains(a) {
+		t.Error("SRRIP evicted the re-referenced line")
+	}
+	if c.Contains(b) {
+		t.Error("SRRIP kept the distant line")
+	}
+}
+
+func TestSRRIPPrefetchInsertsDistant(t *testing.T) {
+	next := &mockNext{}
+	c := New(srripConfig(), next)
+	now := mem.Cycle(0)
+	// A demanded line and a prefetched line compete for the set; the
+	// unreferenced prefetch must lose.
+	dem, pref, fresh := lineInSet(1, 0), lineInSet(1, 1), lineInSet(1, 2)
+	c.Enqueue(loadReq(dem, nil))
+	now = runTicks(c, now, 8)
+	c.Prefetch(pref, 0x400, mem.LvlL1D, now)
+	now = runTicks(c, now, 8)
+	c.Enqueue(loadReq(fresh, nil))
+	runTicks(c, now, 8)
+	if !c.Contains(dem) {
+		t.Error("demanded line evicted before unused prefetch")
+	}
+	if c.Contains(pref) {
+		t.Error("unused prefetch survived over a demand line")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if PolicyLRU.String() != "lru" || PolicySRRIP.String() != "srrip" {
+		t.Error("policy strings wrong")
+	}
+}
+
+func TestSRRIPInvariantsUnderRandomTraffic(t *testing.T) {
+	next := &mockNext{}
+	c := New(srripConfig(), next)
+	now := mem.Cycle(0)
+	rng := newTestRNG(11)
+	for op := 0; op < 3000; op++ {
+		l := mem.Line(rng.Intn(32))
+		switch rng.Intn(4) {
+		case 0:
+			c.Prefetch(l, 0x400, mem.LvlL1D, now)
+		case 1:
+			c.Enqueue(&mem.Request{Line: l, Kind: mem.KindCommitWrite, WBBits: 0b11})
+		default:
+			c.Enqueue(loadReq(l, nil))
+		}
+		now = runTicks(c, now, rng.Intn(2)+1)
+	}
+	runTicks(c, now, 50)
+	if c.Stats.PrefUseful > c.Stats.PrefFilled {
+		t.Fatalf("PrefUseful %d > PrefFilled %d under SRRIP", c.Stats.PrefUseful, c.Stats.PrefFilled)
+	}
+}
+
+// newTestRNG is a tiny deterministic RNG for policy tests.
+type testRNG struct{ s uint64 }
+
+func newTestRNG(seed uint64) *testRNG { return &testRNG{s: seed} }
+
+func (r *testRNG) Intn(n int) int {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return int((r.s >> 33) % uint64(n))
+}

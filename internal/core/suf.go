@@ -1,0 +1,62 @@
+// Package core implements the paper's two contributions and the
+// machinery they share:
+//
+//   - The Secure Update Filter (SUF, §IV): a 0.12 KB filter that drops
+//     or trims GhostMinion's on-commit hierarchy updates using the
+//     2-bit hit level recorded in the load queue when the speculative
+//     load was served.
+//   - The X-LQ (§V-C): the 0.47 KB load-queue extension that carries
+//     each load's access timestamp and true fetch latency to the GM
+//     from the speculative phase to commit, enabling TSB's timely
+//     training.
+//   - The timeliness machinery for non-self-timing prefetchers (§V-D):
+//     a prefetch-lateness monitor with hysteresis driving an adaptive
+//     prefetch distance, and a phase-change detector that resets the
+//     distance on application phase changes.
+package core
+
+import (
+	"secpref/internal/mem"
+)
+
+// SUF is the Secure Update Filter. It implements ghostminion.Filter.
+//
+// At commit, the 2-bit hit level of the load decides the update:
+//
+//	L1D  -> drop entirely (both the re-fetch and the commit write)
+//	L2   -> write GM->L1D, no propagation on eviction
+//	LLC  -> write GM->L1D, propagate L1D->L2, stop there
+//	DRAM -> write GM->L1D, propagate L1D->L2->LLC (full update)
+//
+// Storage: 2 bits x 128 LQ entries + 1 L2-writeback bit x 768 L1D
+// lines = 0.12 KB.
+type SUF struct {
+	// Drops and TrimmedPropagations count filtering activity.
+	Drops               uint64
+	TrimmedPropagations uint64
+	FullUpdates         uint64
+}
+
+// OnCommit implements ghostminion.Filter.
+func (s *SUF) OnCommit(_ mem.Line, hitLevel mem.Level) (drop bool, wbBits uint8) {
+	switch hitLevel {
+	case mem.LvlL1D:
+		s.Drops++
+		return true, 0
+	case mem.LvlL2:
+		s.TrimmedPropagations++
+		return false, 0b00
+	case mem.LvlLLC:
+		s.TrimmedPropagations++
+		return false, 0b01
+	default: // DRAM
+		s.FullUpdates++
+		return false, 0b11
+	}
+}
+
+// StorageBytes reports the SUF hardware budget (§IV: 0.12 KB).
+func (s *SUF) StorageBytes() int {
+	// 128 LQ entries x 2 bits + 768 L1D lines x 1 bit.
+	return (128*2 + 768) / 8
+}

@@ -1,0 +1,82 @@
+package core
+
+import "secpref/internal/mem"
+
+// XLQ is TSB's load-queue extension (§V-C): a dual-ported structure
+// with one entry per LQ slot (128 in the modeled system), indexed by LQ
+// entry id. Each entry holds a valid bit, a Hitp bit (the access hit a
+// prefetched line), a 16-bit access timestamp, and a 12-bit fetch
+// latency — 0.47 KB total. The speculative phase writes it; commit
+// reads it; a domain switch flushes it (the security argument relies on
+// per-entry, commit-time-only access plus this flush).
+//
+// Timestamps and latencies are stored truncated exactly as the hardware
+// would (16 and 12 bits); Access and Latency reconstruct full values
+// relative to the current cycle, assuming — as the paper does — that a
+// load commits within 2^16 cycles of its access.
+type XLQ struct {
+	entries [xlqSize]xlqEntry
+}
+
+const xlqSize = 128
+
+type xlqEntry struct {
+	valid    bool
+	hitp     bool
+	accessTS uint16
+	fetchLat uint16 // 12 bits used
+}
+
+// Record stores the access timestamp for LQ slot id at a demand miss
+// (hitp=false) or a hit on a prefetched line (hitp=true, with the
+// line's stored latency).
+func (x *XLQ) Record(id int, access mem.Cycle, hitp bool, prefLat mem.Cycle) {
+	e := &x.entries[id%xlqSize]
+	e.valid = true
+	e.hitp = hitp
+	e.accessTS = uint16(access)
+	if hitp {
+		e.fetchLat = uint16(prefLat) & 0xfff
+	} else {
+		e.fetchLat = 0 // latency arrives at fill time via SetLatency
+	}
+}
+
+// SetLatency stores the measured fetch latency to the GM once the fill
+// completes.
+func (x *XLQ) SetLatency(id int, lat mem.Cycle) {
+	e := &x.entries[id%xlqSize]
+	if e.valid {
+		e.fetchLat = uint16(lat) & 0xfff
+	}
+}
+
+// Read returns the entry for LQ slot id at commit time, reconstructing
+// the access cycle from its 16-bit timestamp relative to now. ok is
+// false for invalid entries (regular hits take no action at commit).
+func (x *XLQ) Read(id int, now mem.Cycle) (access mem.Cycle, latency mem.Cycle, hitp bool, ok bool) {
+	e := &x.entries[id%xlqSize]
+	if !e.valid {
+		return 0, 0, false, false
+	}
+	// Reconstruct: access <= now and within 2^16 cycles.
+	delta := uint16(now) - e.accessTS
+	access = now - mem.Cycle(delta)
+	return access, mem.Cycle(e.fetchLat), e.hitp, true
+}
+
+// Release invalidates the entry when the load leaves the LQ.
+func (x *XLQ) Release(id int) { x.entries[id%xlqSize].valid = false }
+
+// Flush invalidates every entry (domain switch).
+func (x *XLQ) Flush() {
+	for i := range x.entries {
+		x.entries[i].valid = false
+	}
+}
+
+// StorageBytes reports the X-LQ hardware budget (§V-C: 0.47 KB).
+func (x *XLQ) StorageBytes() int {
+	// 128 entries x (1 valid + 1 hitp + 16 ts + 12 latency) bits.
+	return xlqSize * 30 / 8
+}

@@ -1,0 +1,388 @@
+// Package cpu models the trace-driven out-of-order core of the paper's
+// Table II baseline: a 352-entry ROB, 128-entry load queue, 6-wide
+// dispatch, 4-wide retire, and a hashed perceptron branch predictor.
+//
+// The model captures exactly the properties the paper's mechanisms
+// depend on: loads issue to the memory system *speculatively* at
+// dispatch and *commit* at retire (the access-time/commit-time gap that
+// secure prefetching is about); dependent loads (pointer chases, as
+// flagged in the trace) serialize on the previous load; branch
+// mispredictions stall dispatch; and retirement can stall on the secure
+// cache system's commit engine.
+package cpu
+
+import (
+	"secpref/internal/bpred"
+	"secpref/internal/mem"
+	"secpref/internal/stats"
+	"secpref/internal/tlb"
+	"secpref/internal/trace"
+)
+
+// Config sizes the core (defaults per Table II).
+type Config struct {
+	ROBSize     int
+	LQSize      int
+	StoreBuffer int
+	// DispatchWidth instructions enter the ROB per cycle; RetireWidth
+	// leave it.
+	DispatchWidth int
+	RetireWidth   int
+	// IssueLoadsPerCycle bounds speculative load issue bandwidth.
+	IssueLoadsPerCycle int
+	// MispredictPenalty stalls dispatch after a mispredicted branch
+	// (redirect + refill).
+	MispredictPenalty mem.Cycle
+}
+
+// DefaultConfig returns the Table II core.
+func DefaultConfig() Config {
+	return Config{
+		ROBSize:            352,
+		LQSize:             128,
+		StoreBuffer:        32,
+		DispatchWidth:      6,
+		RetireWidth:        4,
+		IssueLoadsPerCycle: 2,
+		MispredictPenalty:  15,
+	}
+}
+
+// LoadPort accepts speculative loads: the GM in a secure system, the
+// L1D (via an adapter) otherwise. IssueLoad returns false when the load
+// cannot be accepted this cycle; the core retries.
+type LoadPort interface {
+	IssueLoad(r *mem.Request) bool
+}
+
+// StorePort accepts retirement-time stores.
+type StorePort interface {
+	IssueStore(r *mem.Request) bool
+}
+
+// CommitInfo describes a retiring load; the simulator's commit hook
+// receives it (GhostMinion update, SUF, on-commit prefetcher training).
+type CommitInfo struct {
+	Line          mem.Line
+	IP            mem.Addr
+	Seq           uint64
+	LQID          int
+	AccessCycle   mem.Cycle
+	CommitCycle   mem.Cycle
+	HitLevel      mem.Level
+	FetchLat      mem.Cycle
+	HitPrefetched bool
+	// WasMiss reports the load missed the first level (GM/L1D).
+	WasMiss bool
+	// MergedPrefetch reports the classic late-prefetch merge.
+	MergedPrefetch bool
+}
+
+type robEntry struct {
+	in  trace.Instr
+	seq uint64
+
+	isLoad  bool
+	issued  bool
+	done    bool
+	retired bool
+
+	lqID        int
+	accessCycle mem.Cycle
+	hitLevel    mem.Level
+	fetchLat    mem.Cycle
+	hitPref     bool
+	mergedPref  bool
+
+	execReady mem.Cycle
+	// depIdx is the ROB index (ring position) of the load this entry's
+	// address depends on, or -1.
+	depIdx int
+	// req is the load's memory request, built once and reused across
+	// issue retries (ports reject when queues are full).
+	req *mem.Request
+	// transReady is the cycle address translation completes; the load
+	// issues to the memory system no earlier.
+	transReady mem.Cycle
+	translated bool
+}
+
+// Core is the out-of-order core.
+type Core struct {
+	cfg  Config
+	src  trace.Source
+	pred *bpred.Perceptron
+
+	rob        []robEntry
+	head, tail int // ring [head, tail)
+	count      int
+
+	lqFree  int
+	nextLQ  int
+	stores  []*mem.Request
+	loads   LoadPort
+	storeTo StorePort
+
+	now        mem.Cycle
+	seq        uint64
+	stallUntil mem.Cycle
+	srcDone    bool
+	lastLoad   int          // ROB ring index of most recent dispatched load, -1 if none
+	staged     *trace.Instr // instruction held back by a full LQ
+	// pendLoads lists ROB ring indices of dispatched-but-unissued loads
+	// in program order (issue scans a bounded window of it).
+	pendLoads []int
+
+	// OnCommitLoad is invoked for every retiring load; returning false
+	// stalls retirement this cycle (commit engine back-pressure).
+	OnCommitLoad func(ci CommitInfo) bool
+	// OnIssueLoad is invoked when a load is sent to the memory system
+	// (the on-access training stream and the X-LQ record point).
+	OnIssueLoad func(line mem.Line, ip mem.Addr, lqID int, cycle mem.Cycle)
+
+	// TLB, if set, charges address-translation latency before each load
+	// issues (the Table II dTLB/STLB hierarchy).
+	TLB *tlb.Hierarchy
+
+	// Stats is the core's counter block.
+	Stats stats.CoreStats
+}
+
+// New builds a core reading from src, issuing loads to loads and
+// retirement stores to storeTo.
+func New(cfg Config, src trace.Source, loads LoadPort, storeTo StorePort) *Core {
+	return &Core{
+		cfg:      cfg,
+		src:      src,
+		pred:     bpred.New(),
+		rob:      make([]robEntry, cfg.ROBSize),
+		lqFree:   cfg.LQSize,
+		loads:    loads,
+		storeTo:  storeTo,
+		lastLoad: -1,
+	}
+}
+
+// Done reports whether the trace is exhausted and the ROB drained.
+func (c *Core) Done() bool {
+	return c.srcDone && c.count == 0 && len(c.stores) == 0 && c.staged == nil
+}
+
+// Now returns the core's current cycle.
+func (c *Core) Now() mem.Cycle { return c.now }
+
+// Tick advances the core one cycle: retire, dispatch, issue.
+func (c *Core) Tick(now mem.Cycle) {
+	c.now = now
+	c.Stats.Cycles++
+	c.retire()
+	c.drainStores()
+	c.dispatch()
+	c.issueLoads()
+}
+
+func (c *Core) retire() {
+	for n := 0; n < c.cfg.RetireWidth && c.count > 0; n++ {
+		e := &c.rob[c.head]
+		if !e.done || e.execReady > c.now {
+			return
+		}
+		if e.isLoad {
+			if c.OnCommitLoad != nil {
+				ci := CommitInfo{
+					Line:           mem.LineOf(e.in.Load),
+					IP:             e.in.IP,
+					Seq:            e.seq,
+					LQID:           e.lqID,
+					AccessCycle:    e.accessCycle,
+					CommitCycle:    c.now,
+					HitLevel:       e.hitLevel,
+					FetchLat:       e.fetchLat,
+					HitPrefetched:  e.hitPref,
+					WasMiss:        e.hitLevel > mem.LvlL1D,
+					MergedPrefetch: e.mergedPref,
+				}
+				if !c.OnCommitLoad(ci) {
+					return // commit engine full; stall retirement
+				}
+			}
+			c.lqFree++
+		}
+		if e.in.Store != 0 {
+			if len(c.stores) >= c.cfg.StoreBuffer {
+				return
+			}
+			c.stores = append(c.stores, &mem.Request{
+				Line:      mem.LineOf(e.in.Store),
+				IP:        e.in.IP,
+				Kind:      mem.KindRFO,
+				Issued:    c.now,
+				Timestamp: e.seq,
+			})
+			c.Stats.Stores++
+		}
+		c.Stats.Instructions++
+		e.retired = true
+		c.head = (c.head + 1) % len(c.rob)
+		c.count--
+	}
+}
+
+// drainStores sends buffered retirement stores to the L1D.
+func (c *Core) drainStores() {
+	for len(c.stores) > 0 {
+		if !c.storeTo.IssueStore(c.stores[0]) {
+			return
+		}
+		c.stores = c.stores[1:]
+	}
+}
+
+func (c *Core) dispatch() {
+	if c.now < c.stallUntil {
+		return
+	}
+	for n := 0; n < c.cfg.DispatchWidth; n++ {
+		if c.count == len(c.rob) {
+			return
+		}
+		var in trace.Instr
+		if c.staged != nil {
+			in = *c.staged
+		} else {
+			if c.srcDone {
+				return
+			}
+			next, ok := c.src.Next()
+			if !ok {
+				c.srcDone = true
+				return
+			}
+			in = next
+		}
+		if in.Load != 0 && c.lqFree == 0 {
+			// LQ full: the trace source cannot un-read, so hold the
+			// instruction in a one-slot staging latch until a slot
+			// frees.
+			c.Stats.LQFullCycles++
+			staged := in
+			c.staged = &staged
+			return
+		}
+		c.staged = nil
+		c.place(in)
+	}
+}
+
+func (c *Core) place(in trace.Instr) {
+	e := &c.rob[c.tail]
+	*e = robEntry{in: in, seq: c.seq, depIdx: -1, execReady: c.now + 1}
+	c.seq++
+	if in.Branch {
+		c.Stats.Branches++
+		if !c.pred.Train(in.IP, in.Taken) {
+			c.Stats.Mispredicts++
+			// Dispatch resumes after the redirect penalty (the branch
+			// resolves at execute; penalty approximates resolve+refill).
+			c.stallUntil = c.now + c.cfg.MispredictPenalty
+		}
+	}
+	if in.Load != 0 {
+		e.isLoad = true
+		e.done = false
+		e.lqID = c.nextLQ
+		c.nextLQ = (c.nextLQ + 1) % c.cfg.LQSize
+		c.lqFree--
+		if in.Dep {
+			e.depIdx = c.lastLoad
+		}
+		c.lastLoad = c.tail
+		c.pendLoads = append(c.pendLoads, c.tail)
+		c.Stats.Loads++
+	} else {
+		e.done = true
+	}
+	c.tail = (c.tail + 1) % len(c.rob)
+	c.count++
+}
+
+// issueWindow bounds how many pending loads the scheduler examines per
+// cycle (an issue-queue-width approximation).
+const issueWindow = 16
+
+// issueLoads sends ready, un-issued loads to the memory system in
+// program order, bounded per cycle. Dependent loads whose producer has
+// not completed are skipped (younger independent loads may issue —
+// that is the memory-level parallelism of an OoO core).
+func (c *Core) issueLoads() {
+	issued := 0
+	kept := c.pendLoads[:0]
+	for i, idx := range c.pendLoads {
+		if issued >= c.cfg.IssueLoadsPerCycle || i >= issueWindow {
+			kept = append(kept, c.pendLoads[i:]...)
+			break
+		}
+		e := &c.rob[idx]
+		if !c.tryIssue(e, idx) {
+			kept = append(kept, idx)
+			continue
+		}
+		issued++
+	}
+	c.pendLoads = kept
+}
+
+// tryIssue attempts to send one load; it returns true when the load no
+// longer needs scheduling (issued).
+func (c *Core) tryIssue(e *robEntry, idx int) bool {
+	if e.depIdx >= 0 {
+		dep := &c.rob[e.depIdx]
+		// The dependency is live only while that entry still holds the
+		// older load (not retired/recycled).
+		if dep.isLoad && dep.seq < e.seq && !dep.retired && !dep.done {
+			return false // address not ready
+		}
+	}
+	if c.TLB != nil && !e.translated {
+		// Translation starts once the address is ready (dependencies
+		// resolved above) and delays issue by its latency.
+		e.transReady = c.now + c.TLB.Translate(e.in.Load) - 1
+		e.translated = true
+	}
+	if e.transReady > c.now {
+		return false // translation in flight
+	}
+	if e.req == nil {
+		seq := e.seq
+		myIdx := idx
+		r := &mem.Request{
+			Line:      mem.LineOf(e.in.Load),
+			IP:        e.in.IP,
+			Kind:      mem.KindLoad,
+			Issued:    c.now, // first attempt: port back-pressure counts as access latency
+			Timestamp: seq,
+		}
+		r.Done = func(rr *mem.Request) {
+			ent := &c.rob[myIdx]
+			if ent.seq != seq || !ent.isLoad {
+				return // entry recycled (loads pin entries, so this is defensive)
+			}
+			ent.done = true
+			ent.hitLevel = rr.ServedBy
+			ent.fetchLat = rr.FillLat
+			ent.hitPref = rr.HitPrefetched
+			ent.mergedPref = rr.MergedPrefetch
+		}
+		e.req = r
+		e.accessCycle = c.now
+	}
+	if !c.loads.IssueLoad(e.req) {
+		// Port rejected (queue/MSHR full): retry next cycle.
+		return false
+	}
+	e.issued = true
+	if c.OnIssueLoad != nil {
+		c.OnIssueLoad(e.req.Line, e.req.IP, e.lqID, c.now)
+	}
+	return true
+}

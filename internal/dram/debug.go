@@ -1,0 +1,12 @@
+package dram
+
+// Debug accessors for diagnostics and tests.
+
+// DebugRQ returns the read queue length.
+func (d *DRAM) DebugRQ() int { return len(d.rq) }
+
+// DebugWQ returns the write queue length.
+func (d *DRAM) DebugWQ() int { return len(d.wq) }
+
+// DebugResp returns the in-flight response count.
+func (d *DRAM) DebugResp() int { return len(d.resp) }

@@ -1,0 +1,221 @@
+// Package dram models main memory with open-page row buffers and an
+// FR-FCFS scheduler, following the paper's Table II: one channel per
+// four cores at 6400 MT/s, 4 KB row buffers, and tRP = tRCD = tCAS =
+// 12.5 ns each (50 core cycles at 4 GHz).
+package dram
+
+import (
+	"secpref/internal/mem"
+	"secpref/internal/stats"
+)
+
+// Config describes one memory channel.
+type Config struct {
+	Banks int
+	// RowBufKiB is the row-buffer size per bank (page size).
+	RowBufKiB int
+	// TRP, TRCD, TCAS in core cycles.
+	TRP, TRCD, TCAS mem.Cycle
+	// BurstCycles is data-bus occupancy per 64 B line (6400 MT/s × 8 B
+	// bus ≈ 51.2 GB/s → 1.25 ns/line → 5 core cycles at 4 GHz).
+	BurstCycles mem.Cycle
+	// RQSize / WQSize bound the controller queues; WriteWatermark is
+	// the WQ fill fraction above which writes are drained in preference
+	// to reads (Table II: 7/8).
+	RQSize, WQSize     int
+	WriteWatermarkNum  int
+	WriteWatermarkDen  int
+	MaxRequestsPerTick int
+}
+
+// DefaultConfig returns the Table II channel.
+func DefaultConfig() Config {
+	return Config{
+		Banks:     16,
+		RowBufKiB: 4,
+		TRP:       50, TRCD: 50, TCAS: 50,
+		BurstCycles:        5,
+		RQSize:             64,
+		WQSize:             64,
+		WriteWatermarkNum:  7,
+		WriteWatermarkDen:  8,
+		MaxRequestsPerTick: 1,
+	}
+}
+
+type queued struct {
+	req     *mem.Request
+	arrived mem.Cycle
+}
+
+// DRAM is one memory channel implementing cache.Port.
+type DRAM struct {
+	cfg  Config
+	rq   []queued
+	wq   []queued
+	rows []uint64 // open row per bank (+1; 0 = closed)
+
+	busFreeAt mem.Cycle
+	now       mem.Cycle
+	resp      []pending
+
+	// Stats is the channel's counter block.
+	Stats stats.DRAMStats
+}
+
+// New builds a channel.
+func New(cfg Config) *DRAM {
+	return &DRAM{cfg: cfg, rows: make([]uint64, cfg.Banks)}
+}
+
+// Config returns the channel configuration.
+func (d *DRAM) Config() Config { return d.cfg }
+
+// bankOf maps a line to a bank; rowOf to a row within the bank.
+func (d *DRAM) bankOf(l mem.Line) int {
+	linesPerRow := uint64(d.cfg.RowBufKiB * 1024 / mem.LineSize)
+	return int((uint64(l) / linesPerRow) % uint64(d.cfg.Banks))
+}
+
+func (d *DRAM) rowOf(l mem.Line) uint64 {
+	linesPerRow := uint64(d.cfg.RowBufKiB * 1024 / mem.LineSize)
+	return uint64(l) / linesPerRow / uint64(d.cfg.Banks)
+}
+
+// Enqueue accepts a request; returns false when the queue is full.
+func (d *DRAM) Enqueue(r *mem.Request) bool {
+	if r.Kind == mem.KindWriteback || r.Kind == mem.KindCommitWrite {
+		if len(d.wq) >= d.cfg.WQSize {
+			d.Stats.QueueFullRejections++
+			return false
+		}
+		d.wq = append(d.wq, queued{r, d.now})
+		return true
+	}
+	if len(d.rq) >= d.cfg.RQSize {
+		d.Stats.QueueFullRejections++
+		return false
+	}
+	d.rq = append(d.rq, queued{r, d.now})
+	return true
+}
+
+// Tick advances the channel one cycle.
+func (d *DRAM) Tick(now mem.Cycle) {
+	d.now = now
+	d.Deliver(now)
+	d.Stats.Cycles++
+	d.Stats.QueueOccupancy += uint64(len(d.rq) + len(d.wq))
+	if d.busFreeAt > now {
+		return
+	}
+	for n := 0; n < d.cfg.MaxRequestsPerTick; n++ {
+		if !d.issueOne() {
+			return
+		}
+	}
+}
+
+// issueOne schedules the best candidate per FR-FCFS: row-buffer hits
+// first, oldest first; writes are drained when the WQ passes the
+// watermark or no reads are pending.
+func (d *DRAM) issueOne() bool {
+	drainWrites := len(d.wq)*d.cfg.WriteWatermarkDen >= d.cfg.WQSize*d.cfg.WriteWatermarkNum ||
+		(len(d.rq) == 0 && len(d.wq) > 0)
+	var q *[]queued
+	if drainWrites {
+		q = &d.wq
+	} else if len(d.rq) > 0 {
+		q = &d.rq
+	} else {
+		return false
+	}
+	idx := d.pickFRFCFS(*q)
+	entry := (*q)[idx]
+	*q = append((*q)[:idx], (*q)[idx+1:]...)
+
+	bank := d.bankOf(entry.req.Line)
+	row := d.rowOf(entry.req.Line) + 1
+	var lat mem.Cycle
+	if d.rows[bank] == row {
+		lat = d.cfg.TCAS
+		d.Stats.RowHits++
+	} else if d.rows[bank] == 0 {
+		lat = d.cfg.TRCD + d.cfg.TCAS
+		d.Stats.RowMisses++
+	} else {
+		lat = d.cfg.TRP + d.cfg.TRCD + d.cfg.TCAS
+		d.Stats.RowMisses++
+	}
+	d.rows[bank] = row
+	d.busFreeAt = d.now + d.cfg.BurstCycles
+
+	if drainWrites {
+		d.Stats.Writes++
+		// Writes complete silently (no response needed).
+		if entry.req.Done != nil {
+			entry.req.Done(entry.req)
+		}
+		return true
+	}
+	d.Stats.Reads++
+	d.Stats.LatencySum += uint64((d.now - entry.arrived) + lat + d.cfg.BurstCycles)
+	d.Stats.LatCnt++
+	r := entry.req
+	r.ServedBy = mem.LvlDRAM
+	d.schedule(r, d.now+lat+d.cfg.BurstCycles)
+	return true
+}
+
+// pickFRFCFS returns the index of the best candidate: the oldest
+// request that hits an open row buffer, or the oldest overall if none
+// does (first-ready, first-come-first-served).
+func (d *DRAM) pickFRFCFS(q []queued) int {
+	best := -1
+	for i, e := range q {
+		bank := d.bankOf(e.req.Line)
+		if d.rows[bank] == d.rowOf(e.req.Line)+1 {
+			if best == -1 || q[i].arrived < q[best].arrived {
+				best = i
+			}
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	best = 0
+	for i := range q {
+		if q[i].arrived < q[best].arrived {
+			best = i
+		}
+	}
+	return best
+}
+
+// pending holds in-flight read responses.
+type pending struct {
+	req   *mem.Request
+	ready mem.Cycle
+}
+
+// schedule registers a read response for delivery at ready.
+func (d *DRAM) schedule(r *mem.Request, ready mem.Cycle) {
+	d.resp = append(d.resp, pending{r, ready})
+}
+
+// Deliver fires the Done callbacks of responses whose time has come.
+// The simulator calls it once per cycle after Tick.
+func (d *DRAM) Deliver(now mem.Cycle) {
+	w := 0
+	for _, p := range d.resp {
+		if p.ready <= now {
+			if p.req.Done != nil {
+				p.req.Done(p.req)
+			}
+		} else {
+			d.resp[w] = p
+			w++
+		}
+	}
+	d.resp = d.resp[:w]
+}

@@ -1,0 +1,123 @@
+package dram
+
+import (
+	"testing"
+
+	"secpref/internal/mem"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.RQSize, cfg.WQSize = 8, 8
+	return cfg
+}
+
+// serve issues one read and returns its observed latency.
+func serve(d *DRAM, l mem.Line, start mem.Cycle) (mem.Cycle, mem.Cycle) {
+	done := mem.Cycle(0)
+	r := &mem.Request{Line: l, Kind: mem.KindLoad}
+	now := start
+	r.Done = func(*mem.Request) { done = now }
+	if !d.Enqueue(r) {
+		panic("enqueue rejected")
+	}
+	for done == 0 {
+		now++
+		d.Tick(now)
+		if now > start+10000 {
+			panic("request never served")
+		}
+	}
+	return done - start, now
+}
+
+func TestRowHitFasterThanConflict(t *testing.T) {
+	d := New(testConfig())
+	// First access opens the row.
+	_, now := serve(d, 0, 0)
+	// Same row: hit.
+	hitLat, now := serve(d, 1, now)
+	// Different row, same bank: conflict (rows interleave across banks;
+	// same bank repeats every Banks rows).
+	linesPerRow := mem.Line(d.cfg.RowBufKiB * 1024 / mem.LineSize)
+	conflict := linesPerRow * mem.Line(d.cfg.Banks)
+	confLat, _ := serve(d, conflict, now)
+	if hitLat >= confLat {
+		t.Errorf("row hit latency %d >= conflict latency %d", hitLat, confLat)
+	}
+	if hitLat > d.cfg.TCAS+d.cfg.BurstCycles+2 {
+		t.Errorf("row hit latency %d too high", hitLat)
+	}
+	if confLat < d.cfg.TRP+d.cfg.TRCD+d.cfg.TCAS {
+		t.Errorf("conflict latency %d below tRP+tRCD+tCAS", confLat)
+	}
+}
+
+func TestFRFCFSPrefersOpenRow(t *testing.T) {
+	d := New(testConfig())
+	_, now := serve(d, 0, 0) // open row 0 of bank 0
+	linesPerRow := mem.Line(d.cfg.RowBufKiB * 1024 / mem.LineSize)
+	conflictLine := linesPerRow * mem.Line(d.cfg.Banks)
+	var order []mem.Line
+	mk := func(l mem.Line) *mem.Request {
+		r := &mem.Request{Line: l, Kind: mem.KindLoad}
+		r.Done = func(rr *mem.Request) { order = append(order, rr.Line) }
+		return r
+	}
+	// Older conflict request, then a younger row-hit request.
+	d.Enqueue(mk(conflictLine))
+	d.Enqueue(mk(2))
+	for len(order) < 2 {
+		now++
+		d.Tick(now)
+	}
+	if order[0] != 2 {
+		t.Errorf("service order %v: FR-FCFS should serve the row hit first", order)
+	}
+}
+
+func TestWritesDrainEventually(t *testing.T) {
+	d := New(testConfig())
+	for i := 0; i < 8; i++ {
+		if !d.Enqueue(&mem.Request{Line: mem.Line(i), Kind: mem.KindWriteback, Dirty: true}) {
+			t.Fatalf("write %d rejected", i)
+		}
+	}
+	for now := mem.Cycle(1); now < 5000; now++ {
+		d.Tick(now)
+	}
+	if d.Stats.Writes != 8 {
+		t.Errorf("drained %d writes, want 8", d.Stats.Writes)
+	}
+}
+
+func TestQueueFullRejects(t *testing.T) {
+	d := New(testConfig())
+	for i := 0; i < 8; i++ {
+		r := &mem.Request{Line: mem.Line(i * 64), Kind: mem.KindLoad}
+		if !d.Enqueue(r) {
+			t.Fatalf("read %d rejected early", i)
+		}
+	}
+	if d.Enqueue(&mem.Request{Line: 999, Kind: mem.KindLoad}) {
+		t.Fatal("9th read should be rejected")
+	}
+	if d.Stats.QueueFullRejections != 1 {
+		t.Errorf("rejections = %d", d.Stats.QueueFullRejections)
+	}
+}
+
+func TestBankMapping(t *testing.T) {
+	d := New(testConfig())
+	linesPerRow := d.cfg.RowBufKiB * 1024 / mem.LineSize
+	// Consecutive rows land on consecutive banks (interleaving).
+	b0 := d.bankOf(0)
+	b1 := d.bankOf(mem.Line(linesPerRow))
+	if b0 == b1 {
+		t.Error("adjacent rows map to the same bank (no interleaving)")
+	}
+	// Same row, different column: same bank, same row id.
+	if d.bankOf(0) != d.bankOf(1) || d.rowOf(0) != d.rowOf(1) {
+		t.Error("lines within one row split across banks/rows")
+	}
+}

@@ -1,0 +1,48 @@
+// Package energy models dynamic energy consumption of the memory
+// hierarchy. The paper computes it with CACTI-P and the Micron DRAM
+// power calculator at 7 nm; since Fig. 14 reports energy *normalized*
+// to a baseline, what matters is the per-access energy ratio between
+// levels, which we take from CACTI-P-class numbers for the Table II
+// geometries. Traffic counts come straight from the simulation.
+package energy
+
+import (
+	"secpref/internal/stats"
+)
+
+// PerAccess holds per-access dynamic energy in picojoules.
+type PerAccess struct {
+	GM, L1D, L2, LLC, DRAM float64
+}
+
+// DefaultPerAccess returns CACTI-P-class 7 nm estimates: energy grows
+// roughly with array size; DRAM dominates per access.
+func DefaultPerAccess() PerAccess {
+	return PerAccess{
+		GM:   2,    // 2 KB scratch structure
+		L1D:  15,   // 48 KB, 12-way
+		L2:   60,   // 512 KB
+		LLC:  250,  // 2 MB bank
+		DRAM: 5000, // activate+rw+precharge amortized per 64 B
+	}
+}
+
+// Breakdown is the dynamic energy split by structure, in picojoules.
+type Breakdown struct {
+	GM, L1D, L2, LLC, DRAM float64
+}
+
+// Total sums the breakdown.
+func (b Breakdown) Total() float64 { return b.GM + b.L1D + b.L2 + b.LLC + b.DRAM }
+
+// Compute derives the dynamic energy of one simulation from the
+// per-level access counts. gmAccesses is zero for non-secure systems.
+func Compute(p PerAccess, gmAccesses uint64, l1d, l2, llc *stats.CacheStats, dram *stats.DRAMStats) Breakdown {
+	return Breakdown{
+		GM:   p.GM * float64(gmAccesses),
+		L1D:  p.L1D * float64(l1d.TotalAccesses()),
+		L2:   p.L2 * float64(l2.TotalAccesses()),
+		LLC:  p.LLC * float64(llc.TotalAccesses()),
+		DRAM: p.DRAM * float64(dram.Reads+dram.Writes),
+	}
+}

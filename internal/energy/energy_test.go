@@ -1,0 +1,53 @@
+package energy
+
+import (
+	"testing"
+
+	"secpref/internal/mem"
+	"secpref/internal/stats"
+)
+
+func TestComputeScalesWithTraffic(t *testing.T) {
+	p := DefaultPerAccess()
+	var l1, l2, llc stats.CacheStats
+	var d stats.DRAMStats
+	l1.Accesses[mem.KindLoad] = 1000
+	l2.Accesses[mem.KindLoad] = 100
+	llc.Accesses[mem.KindLoad] = 10
+	d.Reads = 5
+	b := Compute(p, 0, &l1, &l2, &llc, &d)
+	if b.GM != 0 {
+		t.Errorf("GM energy %f without GM accesses", b.GM)
+	}
+	want := p.L1D*1000 + p.L2*100 + p.LLC*10 + p.DRAM*5
+	if b.Total() != want {
+		t.Errorf("Total = %f, want %f", b.Total(), want)
+	}
+	// Doubling L1D traffic raises only the L1D term.
+	l1.Accesses[mem.KindLoad] = 2000
+	b2 := Compute(p, 0, &l1, &l2, &llc, &d)
+	if b2.L1D != 2*b.L1D || b2.L2 != b.L2 {
+		t.Error("per-level scaling wrong")
+	}
+}
+
+func TestHierarchyEnergyOrdering(t *testing.T) {
+	p := DefaultPerAccess()
+	if !(p.GM < p.L1D && p.L1D < p.L2 && p.L2 < p.LLC && p.LLC < p.DRAM) {
+		t.Error("per-access energy must grow with structure size")
+	}
+}
+
+func TestSpecAccessesCount(t *testing.T) {
+	p := DefaultPerAccess()
+	var l1, l2, llc stats.CacheStats
+	var d stats.DRAMStats
+	l1.SpecAccesses = 500 // GhostMinion probes still burn L1D energy
+	b := Compute(p, 200, &l1, &l2, &llc, &d)
+	if b.L1D != p.L1D*500 {
+		t.Errorf("spec accesses not charged: %f", b.L1D)
+	}
+	if b.GM != p.GM*200 {
+		t.Errorf("GM accesses not charged: %f", b.GM)
+	}
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import "fmt"
+
+// IDs lists every reproducible experiment in paper order.
+var IDs = []string{
+	"table1", "table2", "table3",
+	"fig1", "fig3", "fig4", "fig5", "fig6",
+	"fig10", "fig11", "fig12a", "fig12b", "fig13", "fig14", "fig15",
+	"suf-accuracy", "suf-traffic",
+}
+
+// ExtensionIDs lists the beyond-the-paper experiments (SMT, TSB on
+// non-secure systems, ablations).
+var ExtensionIDs = []string{
+	"smt-suf", "tsb-nonsecure", "ablate-gm", "ablate-tlb", "ablate-lateness", "ablate-policy",
+}
+
+// Run regenerates one experiment by id.
+func (r *Runner) Run(id string) (*Table, error) {
+	switch id {
+	case "table1":
+		return Table1(), nil
+	case "table2":
+		return Table2(), nil
+	case "table3":
+		return Table3()
+	case "fig1":
+		return r.Fig1()
+	case "fig3":
+		return r.Fig3()
+	case "fig4":
+		return r.Fig4()
+	case "fig5":
+		return r.Fig5()
+	case "fig6":
+		return r.Fig6()
+	case "fig10":
+		return r.Fig10()
+	case "fig11":
+		return r.Fig11()
+	case "fig12a":
+		return r.Fig12("spec")
+	case "fig12b":
+		return r.Fig12("gap")
+	case "fig13":
+		return r.Fig13()
+	case "fig14":
+		return r.Fig14()
+	case "fig15":
+		return r.Fig15()
+	case "suf-accuracy":
+		return r.SUFAccuracy()
+	case "suf-traffic":
+		return r.SUFTraffic()
+	case "smt-suf":
+		return r.SMTSUF()
+	case "tsb-nonsecure":
+		return r.TSBNonSecure()
+	case "ablate-gm":
+		return r.AblateGMSize()
+	case "ablate-tlb":
+		return r.AblateTLB()
+	case "ablate-lateness":
+		return r.AblateLateness()
+	case "ablate-policy":
+		return r.AblatePolicy()
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs)
+}

@@ -1,0 +1,528 @@
+// Package ghostminion implements the GhostMinion secure cache system
+// (Ainsworth, MICRO 2021) as configured by the paper: a small
+// strictness-ordered speculative cache (the GM) accessed in parallel
+// with L1D, which holds the data of speculative loads until they
+// commit. Speculative misses travel the hierarchy as invisible probes
+// (no replacement-state updates, no fills) and the response fills only
+// the GM. At commit, a GM hit triggers an on-commit write moving the
+// line to L1D (with GhostMinion writeback bits governing clean
+// propagation on later evictions), and a GM miss triggers a re-fetch
+// into the non-speculative hierarchy. TimeGuarding enforces strictness
+// ordering: a load may only observe GM insertions made by program-
+// older instructions, and MSHR leapfrogging lets older loads displace
+// younger ones when the GM MSHR is full.
+//
+// The Secure Update Filter (SUF) from the paper hooks in at commit
+// time via the Filter interface; see internal/core.
+package ghostminion
+
+import (
+	"secpref/internal/cache"
+	"secpref/internal/mem"
+	"secpref/internal/stats"
+)
+
+// Config sizes the GM.
+type Config struct {
+	// Lines is the GM capacity in cache lines (2 KB = 32 lines, fully
+	// associative, per the paper).
+	Lines   int
+	Latency mem.Cycle
+	MSHRs   int
+	// CommitQueue bounds in-flight commit-time hierarchy updates;
+	// retirement stalls when it is full.
+	CommitQueue int
+}
+
+// DefaultConfig returns the paper's 2 KB GM. The array itself reads in
+// 1 cycle; the modeled hit latency of 4 is the full load-to-use path
+// (AGU + TLB + tag + data), slightly under the L1D's 5 cycles — using
+// the raw 1-cycle array latency would make the secure system *faster*
+// than the baseline on GM-hit-heavy code, which neither GhostMinion nor
+// this paper observes.
+func DefaultConfig() Config {
+	return Config{Lines: 32, Latency: 4, MSHRs: 16, CommitQueue: 32}
+}
+
+// Filter decides, at commit time, how the hierarchy update for a
+// committed load should proceed. The baseline GhostMinion filter always
+// updates fully; SUF (internal/core) drops or trims updates using the
+// recorded hit level.
+type Filter interface {
+	// OnCommit receives the committed line and the 2-bit hit level
+	// recorded when the data returned. It returns drop=true to suppress
+	// the hierarchy update entirely, and otherwise the writeback bits
+	// to attach (bit 0: L1D propagates to L2 on eviction; bit 1: L2
+	// propagates to LLC).
+	OnCommit(line mem.Line, hitLevel mem.Level) (drop bool, wbBits uint8)
+}
+
+// FullUpdate is the baseline GhostMinion behaviour: never drop, always
+// propagate commit writes up the whole hierarchy.
+type FullUpdate struct{}
+
+// OnCommit implements Filter.
+func (FullUpdate) OnCommit(mem.Line, mem.Level) (bool, uint8) { return false, 0b11 }
+
+type gmLine struct {
+	line      mem.Line
+	valid     bool
+	timestamp uint64 // inserting instruction's program order
+	lru       uint32
+	servedBy  mem.Level // hit level recorded at fill (SUF input)
+	fetchLat  mem.Cycle // measured fetch latency to GM (TSB input)
+}
+
+type gmMSHR struct {
+	valid     bool
+	line      mem.Line
+	timestamp uint64 // oldest waiter
+	alloc     mem.Cycle
+	waiters   []*mem.Request
+	canceled  bool
+}
+
+type commitUpdate struct {
+	req *mem.Request
+}
+
+// GM is the GhostMinion speculative cache plus its commit engine.
+type GM struct {
+	cfg    Config
+	lines  []gmLine
+	mshr   []gmMSHR
+	l1d    *cache.Cache
+	clock  uint32
+	now    mem.Cycle
+	filter Filter
+
+	// retryq holds loads displaced by leapfrogging, awaiting re-issue.
+	retryq []*mem.Request
+	// commitq holds commit-time updates awaiting L1D queue space.
+	commitq []*mem.Request
+	// pending holds probes rejected by a full L1D read queue.
+	pending []pendingProbe
+	// resp holds responses awaiting the GM hit latency.
+	resp []gmResp
+
+	// Stats uses the cache counter block: KindLoad accesses/misses are
+	// speculative GM lookups; demand miss latency is the load-observed
+	// (GM-level) miss latency in the secure system.
+	Stats stats.CacheStats
+
+	// OnFill, if set, observes GM fills with the measured fetch latency
+	// (the TSB X-LQ records it). ip and accessed describe the access
+	// that allocated the GM MSHR entry.
+	OnFill func(line mem.Line, servedBy mem.Level, latency mem.Cycle, cycle mem.Cycle, ip mem.Addr, accessed mem.Cycle)
+	// OnAccess, if set, observes every accepted speculative load with
+	// its GM hit/miss outcome — the training stream for on-access
+	// prefetching on the secure system (misses additionally surface at
+	// L1D via its OnSpecAccess hook with L1D hit information).
+	OnAccess func(line mem.Line, ip mem.Addr, hit bool, cycle mem.Cycle)
+}
+
+// New builds a GM in front of l1d.
+func New(cfg Config, l1d *cache.Cache, filter Filter) *GM {
+	if filter == nil {
+		filter = FullUpdate{}
+	}
+	return &GM{
+		cfg:    cfg,
+		lines:  make([]gmLine, cfg.Lines),
+		mshr:   make([]gmMSHR, cfg.MSHRs),
+		l1d:    l1d,
+		filter: filter,
+	}
+}
+
+// SetFilter replaces the commit filter (used to toggle SUF).
+func (g *GM) SetFilter(f Filter) { g.filter = f }
+
+// Contains probes the GM without state changes.
+func (g *GM) Contains(l mem.Line) bool {
+	for i := range g.lines {
+		if g.lines[i].valid && g.lines[i].line == l {
+			return true
+		}
+	}
+	return false
+}
+
+// lookupVisible returns the GM entry for l visible to an instruction
+// with the given timestamp under TimeGuarding (insertions by younger
+// instructions are invisible).
+func (g *GM) lookupVisible(l mem.Line, ts uint64) *gmLine {
+	for i := range g.lines {
+		e := &g.lines[i]
+		if e.valid && e.line == l && e.timestamp <= ts {
+			return e
+		}
+	}
+	return nil
+}
+
+// IssueLoad accepts a speculative load. The request's Done fires when
+// data is available (from GM, or via an invisible hierarchy probe that
+// fills the GM). Returns false when the load cannot be accepted this
+// cycle (MSHR full and not leapfroggable); the core retries.
+func (g *GM) IssueLoad(r *mem.Request) bool {
+	return g.issueLoad(r, true, true)
+}
+
+// issueLoad implements IssueLoad; countStats is false for internal
+// re-issues of leapfrog-displaced loads (the architectural access was
+// already counted), which also may not leapfrog others — without that
+// restriction displaced loads and fresh younger loads cancel each other
+// in a ping-pong that wastes a memory fetch per round.
+func (g *GM) issueLoad(r *mem.Request, countStats, allowLeapfrog bool) bool {
+	if e := g.lookupVisible(r.Line, r.Timestamp); e != nil {
+		if countStats {
+			g.Stats.Accesses[mem.KindLoad]++
+		}
+		if g.OnAccess != nil {
+			g.OnAccess(r.Line, r.IP, true, g.now)
+		}
+		g.clock++
+		e.lru = g.clock
+		r.ServedBy = mem.LvlL1D // GM counts as the lowest level
+		g.respond(r)
+		return true
+	}
+	// Merge with an in-flight fetch if TimeGuarding allows: the waiter
+	// may ride along only if the fill it will observe comes from an
+	// older-or-equal instruction. Fills adopt the oldest waiter's
+	// timestamp, so merging is always safe for younger requests.
+	for i := range g.mshr {
+		e := &g.mshr[i]
+		if e.valid && !e.canceled && e.line == r.Line {
+			e.waiters = append(e.waiters, r)
+			if r.Timestamp < e.timestamp {
+				e.timestamp = r.Timestamp
+			}
+			if countStats {
+				g.Stats.Accesses[mem.KindLoad]++
+				g.Stats.Misses[mem.KindLoad]++
+			}
+			g.Stats.MSHRMerges++
+			return true
+		}
+	}
+	e := g.allocMSHR(r.Timestamp, allowLeapfrog)
+	if e == nil {
+		return false // rejected: the core retries; count only accepted attempts
+	}
+	if countStats {
+		g.Stats.Accesses[mem.KindLoad]++
+		g.Stats.Misses[mem.KindLoad]++
+	}
+	g.startFetch(e, r)
+	return true
+}
+
+// leapfrogMaxAge bounds which fetches may be cancelled: displacing a
+// nearly-complete fetch wastes the memory round trip for nothing, so
+// only young entries are eligible.
+const leapfrogMaxAge = 16
+
+// allocMSHR finds a free entry, or (when allowed) leapfrogs the
+// youngest recently-started entry that is strictly younger than ts.
+func (g *GM) allocMSHR(ts uint64, allowLeapfrog bool) *gmMSHR {
+	for i := range g.mshr {
+		if !g.mshr[i].valid {
+			return &g.mshr[i]
+		}
+	}
+	if !allowLeapfrog {
+		return nil
+	}
+	// Leapfrog: displace the youngest entry if it is younger than the
+	// incoming request (strictness ordering favors older instructions).
+	var victim *gmMSHR
+	for i := range g.mshr {
+		e := &g.mshr[i]
+		if e.canceled || g.now-e.alloc > leapfrogMaxAge {
+			continue
+		}
+		if e.timestamp > ts && (victim == nil || e.timestamp > victim.timestamp) {
+			victim = e
+		}
+	}
+	if victim == nil {
+		return nil
+	}
+	g.Stats.Leapfrogs++
+	// Displaced waiters are re-issued by the GM when capacity frees up;
+	// the in-flight probe's eventual fill is discarded (its Done closure
+	// sees a slot whose line no longer matches).
+	g.retryq = append(g.retryq, victim.waiters...)
+	*victim = gmMSHR{}
+	return victim
+}
+
+// startFetch initializes e for r and sends the invisible probe to L1D.
+func (g *GM) startFetch(e *gmMSHR, r *mem.Request) {
+	*e = gmMSHR{
+		valid:     true,
+		line:      r.Line,
+		timestamp: r.Timestamp,
+		alloc:     g.now,
+		waiters:   []*mem.Request{r},
+	}
+	mine := e // capture slot
+	myLine := r.Line
+	probe := &mem.Request{
+		Line:       r.Line,
+		IP:         r.IP,
+		Kind:       mem.KindLoad,
+		Core:       r.Core,
+		Issued:     g.now,
+		Timestamp:  r.Timestamp,
+		SpecBypass: true,
+	}
+	probe.Done = func(pr *mem.Request) {
+		// Stale fills (slot canceled or recycled for another line) are
+		// dropped: the speculative data simply never lands in the GM.
+		if !mine.valid || mine.canceled || mine.line != myLine {
+			return
+		}
+		g.fill(mine, pr)
+	}
+	if !g.l1d.Enqueue(probe) {
+		// L1D read queue full: hold and retry each cycle.
+		g.pending = append(g.pending, pendingProbe{e, probe})
+	}
+}
+
+type pendingProbe struct {
+	entry *gmMSHR
+	probe *mem.Request
+}
+
+// fill installs the returned line into the GM and wakes waiters.
+func (g *GM) fill(e *gmMSHR, pr *mem.Request) {
+	lat := g.now - e.alloc
+	servedBy := pr.ServedBy
+	g.insertLine(gmLine{
+		line:      e.line,
+		valid:     true,
+		timestamp: e.timestamp,
+		servedBy:  servedBy,
+		fetchLat:  lat,
+	})
+	if g.OnFill != nil {
+		var ip mem.Addr
+		var accessed mem.Cycle
+		if len(e.waiters) > 0 {
+			ip = e.waiters[0].IP
+			accessed = e.waiters[0].Issued
+		}
+		g.OnFill(e.line, servedBy, lat, g.now, ip, accessed)
+	}
+	for _, w := range e.waiters {
+		w.ServedBy = servedBy
+		w.MergedPrefetch = pr.MergedPrefetch
+		if pr.HitPrefetched {
+			// The probe hit a prefetched L1D line: the waiter observes
+			// that line's stored latency (the X-LQ Hitp case).
+			w.HitPrefetched = true
+			w.FillLat = pr.FillLat
+		} else {
+			w.FillLat = g.now - w.Issued
+		}
+		g.Stats.DemandMissLatSum += uint64(g.now - w.Issued)
+		g.Stats.DemandMissLatCnt++
+		g.respond(w)
+	}
+	e.valid = false
+	e.waiters = nil
+}
+
+// insertLine places a line in the GM, evicting the oldest-timestamp
+// entry when full (an evicted speculative line is simply dropped; its
+// commit will take the re-fetch path).
+func (g *GM) insertLine(nl gmLine) {
+	var slot *gmLine
+	for i := range g.lines {
+		e := &g.lines[i]
+		if e.valid && e.line == nl.line {
+			slot = e
+			break
+		}
+		if slot == nil && !e.valid {
+			slot = e
+		}
+	}
+	if slot == nil {
+		slot = &g.lines[0]
+		for i := range g.lines {
+			if g.lines[i].timestamp < slot.timestamp {
+				slot = &g.lines[i]
+			}
+		}
+		g.Stats.Evictions++
+	}
+	g.clock++
+	nl.lru = g.clock
+	*slot = nl
+}
+
+// respond schedules r's completion after the GM latency.
+func (g *GM) respond(r *mem.Request) {
+	g.resp = append(g.resp, gmResp{r, g.now + g.cfg.Latency})
+}
+
+type gmResp struct {
+	req   *mem.Request
+	ready mem.Cycle
+}
+
+// CanCommit reports whether the commit engine can accept another
+// update; retirement stalls otherwise.
+func (g *GM) CanCommit() bool { return len(g.commitq) < g.cfg.CommitQueue }
+
+// Commit processes the retirement of a load: it consults the filter and
+// emits the on-commit write (GM hit) or re-fetch (GM miss) into the
+// hierarchy. It returns the path taken for statistics. The recorded
+// hit level (from the GM line, or the level tracked in the load queue)
+// is supplied by the caller, which owns the LQ.
+func (g *GM) Commit(line mem.Line, ts uint64, hitLevel mem.Level, cs *stats.CoreStats) {
+	var gme *gmLine
+	for i := range g.lines {
+		e := &g.lines[i]
+		if e.valid && e.line == line && e.timestamp <= ts {
+			gme = e
+			break
+		}
+	}
+	drop, wbb := g.filter.OnCommit(line, hitLevel)
+	if drop {
+		cs.SUFDrops++
+		// Oracle accuracy probe: was the line truly still in L1D, as
+		// the recorded hit level promised?
+		if !g.l1d.Contains(line) {
+			cs.SUFDropWrong++
+		}
+		// The committed line's GM entry is released either way.
+		if gme != nil {
+			gme.valid = false
+		}
+		return
+	}
+	if gme != nil {
+		cs.CommitGMHits++
+		// On-commit write: transfer GM -> L1D.
+		r := &mem.Request{
+			Line:   line,
+			Kind:   mem.KindCommitWrite,
+			Issued: g.now,
+			WBBits: wbb,
+		}
+		gme.valid = false
+		g.commitq = append(g.commitq, r)
+		return
+	}
+	cs.CommitGMMisses++
+	// Re-fetch into the non-speculative hierarchy.
+	r := &mem.Request{
+		Line:      line,
+		Kind:      mem.KindRefetch,
+		Issued:    g.now,
+		Timestamp: ts,
+	}
+	g.commitq = append(g.commitq, r)
+}
+
+// Squash discards all speculative state created by instructions with
+// timestamp >= ts: GM lines are invalidated and in-flight fetches are
+// cancelled. The attack harness uses it to model transient-instruction
+// squash; note the non-speculative hierarchy is untouched, which is
+// exactly GhostMinion's security argument.
+func (g *GM) Squash(ts uint64) {
+	for i := range g.lines {
+		if g.lines[i].valid && g.lines[i].timestamp >= ts {
+			g.lines[i].valid = false
+		}
+	}
+	for i := range g.mshr {
+		e := &g.mshr[i]
+		if e.valid && e.timestamp >= ts {
+			e.canceled = true
+			e.valid = false
+			e.waiters = nil
+		}
+	}
+	// Squashed retry entries are dropped as well.
+	w := 0
+	for _, r := range g.retryq {
+		if r.Timestamp < ts {
+			g.retryq[w] = r
+			w++
+		}
+	}
+	g.retryq = g.retryq[:w]
+}
+
+// Tick advances the GM one cycle: deliver responses, retry blocked
+// probes, reissue displaced loads, and drain the commit queue into the
+// L1D.
+func (g *GM) Tick(now mem.Cycle) {
+	g.now = now
+
+	// Responses.
+	w := 0
+	for _, p := range g.resp {
+		if p.ready <= now {
+			if p.req.Done != nil {
+				p.req.Done(p.req)
+			}
+		} else {
+			g.resp[w] = p
+			w++
+		}
+	}
+	g.resp = g.resp[:w]
+
+	// Blocked probes.
+	w = 0
+	for _, pp := range g.pending {
+		if !pp.entry.valid || pp.entry.line != pp.probe.Line {
+			continue // canceled
+		}
+		if !g.l1d.Enqueue(pp.probe) {
+			g.pending[w] = pp
+			w++
+		}
+	}
+	g.pending = g.pending[:w]
+
+	// Reissue displaced loads (bounded per cycle; no stats, no
+	// leapfrogging — see issueLoad).
+	for n := 0; n < 2 && len(g.retryq) > 0; n++ {
+		r := g.retryq[0]
+		if !g.issueLoad(r, false, false) {
+			break
+		}
+		g.retryq = g.retryq[1:]
+	}
+
+	// Drain commit updates.
+	for len(g.commitq) > 0 {
+		if !g.l1d.Enqueue(g.commitq[0]) {
+			break
+		}
+		g.commitq = g.commitq[1:]
+	}
+
+	// Occupancy statistics.
+	g.Stats.Cycles++
+	occ := 0
+	for i := range g.mshr {
+		if g.mshr[i].valid {
+			occ++
+		}
+	}
+	g.Stats.MSHROccupancy += uint64(occ)
+	if occ == g.cfg.MSHRs {
+		g.Stats.MSHRFullCycles++
+	}
+}

@@ -1,0 +1,187 @@
+// Package mem defines the common memory-system vocabulary shared by the
+// simulator substrates: physical addresses, cache-line arithmetic,
+// request kinds, and the cache-level / fill-level enums used throughout
+// the hierarchy and by the Secure Update Filter (SUF).
+package mem
+
+import "fmt"
+
+// LineBits is log2 of the cache-line size. All caches in the modeled
+// system use 64-byte lines, as in the paper's baseline (Table II).
+const (
+	LineBits = 6
+	LineSize = 1 << LineBits
+)
+
+// Addr is a byte-granular physical address.
+type Addr uint64
+
+// Line is a cache-line-granular address (Addr >> LineBits).
+type Line uint64
+
+// LineOf returns the cache line containing a.
+func LineOf(a Addr) Line { return Line(a >> LineBits) }
+
+// Addr returns the first byte address of the line.
+func (l Line) Addr() Addr { return Addr(l) << LineBits }
+
+// Kind identifies why a request entered the memory system. The secure
+// cache system adds two kinds on top of the classic load/RFO/prefetch/
+// writeback set: commit writes (GM hit at commit) and re-fetches (GM
+// miss at commit), per GhostMinion's on-commit hierarchy update.
+type Kind uint8
+
+const (
+	// KindLoad is a demand data load.
+	KindLoad Kind = iota
+	// KindRFO is a read-for-ownership triggered by a store.
+	KindRFO
+	// KindPrefetch is a hardware prefetch request.
+	KindPrefetch
+	// KindWriteback is a dirty (or GhostMinion-propagated) eviction
+	// moving a line to the next cache level.
+	KindWriteback
+	// KindCommitWrite is GhostMinion's on-commit write of a committed
+	// line from the GM speculative cache into L1D.
+	KindCommitWrite
+	// KindRefetch is GhostMinion's on-commit re-fetch of a committed
+	// line that was evicted from the GM before commit.
+	KindRefetch
+
+	// NumKinds is the number of request kinds.
+	NumKinds = int(KindRefetch) + 1
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindLoad:
+		return "load"
+	case KindRFO:
+		return "rfo"
+	case KindPrefetch:
+		return "prefetch"
+	case KindWriteback:
+		return "writeback"
+	case KindCommitWrite:
+		return "commit-write"
+	case KindRefetch:
+		return "refetch"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// IsDemand reports whether the request kind is a demand access (load or
+// RFO) as opposed to prefetch or hierarchy-maintenance traffic.
+func (k Kind) IsDemand() bool { return k == KindLoad || k == KindRFO }
+
+// Level identifies a position in the memory hierarchy. The ordering is
+// significant: L1D is the lowest (closest to the core), DRAM the
+// highest, matching the paper's terminology ("L1D is the lowest level
+// and LLC is the highest level of the cache").
+type Level uint8
+
+const (
+	// LvlL1D is the first-level data cache (searched in parallel with
+	// the GM under GhostMinion).
+	LvlL1D Level = iota
+	// LvlL2 is the private second-level cache.
+	LvlL2
+	// LvlLLC is the shared last-level cache.
+	LvlLLC
+	// LvlDRAM is main memory.
+	LvlDRAM
+
+	// NumLevels counts the cache levels (excluding DRAM).
+	NumLevels = int(LvlLLC) + 1
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LvlL1D:
+		return "L1D"
+	case LvlL2:
+		return "L2"
+	case LvlLLC:
+		return "LLC"
+	case LvlDRAM:
+		return "DRAM"
+	}
+	return fmt.Sprintf("level(%d)", uint8(l))
+}
+
+// HitLevel is SUF's 2-bit encoding of the hierarchy level that served a
+// speculative load: 00=L1D (or GM), 01=L2, 10=LLC, 11=DRAM. It is
+// stored in the load-queue entry and consulted at commit time to filter
+// superfluous non-speculative updates.
+type HitLevel = Level
+
+// Cycle is a simulation timestamp in core clock cycles.
+type Cycle uint64
+
+// Request is a memory-system request descriptor. Requests are passed by
+// pointer through the hierarchy; the cache package pools them.
+type Request struct {
+	Line Line
+	IP   Addr // instruction pointer of the triggering instruction (0 for maintenance traffic)
+	Kind Kind
+
+	// Core identifies the requesting core (multicore runs).
+	Core int
+
+	// Issued is the cycle the request entered the memory system, used
+	// for latency accounting and Berti-style fetch-latency measurement.
+	Issued Cycle
+
+	// Timestamp is GhostMinion's strictness-ordering timestamp (program
+	// order of the triggering instruction). Younger requests may be
+	// leapfrogged (replaced) in full MSHRs by older ones.
+	Timestamp uint64
+
+	// FillLevel is the level a prefetch should fill to (prefetchers such
+	// as IPCP and Berti orchestrate fills between L1D and L2 based on
+	// confidence). Demand requests always fill to the requesting level.
+	FillLevel Level
+
+	// SpecBypass marks a GhostMinion speculative load: hits must not
+	// update replacement state and the miss response fills only the GM,
+	// bypassing L1D/L2/LLC.
+	SpecBypass bool
+
+	// Dirty marks a writeback carrying modified data (as opposed to a
+	// GhostMinion clean propagation).
+	Dirty bool
+
+	// WBBits carries the GhostMinion/SUF writeback bits on commit
+	// writes and clean propagations: bit 0 is the receiving level's
+	// "propagate on eviction" flag, bit 1 the next level's, and so on.
+	WBBits uint8
+
+	// ServedBy records the level that provided the data (set on
+	// response). This is the SUF hit-level input.
+	ServedBy Level
+
+	// MergedPrefetch is set on the response when a demand request merged
+	// with an in-flight prefetch MSHR entry (a classic late prefetch).
+	MergedPrefetch bool
+
+	// FillLat is set on the response: the fetch latency observed for
+	// this request (miss service time), or, for a hit on a prefetched
+	// line, the latency stored alongside the line — the signal Berti
+	// and the TSB X-LQ train on.
+	FillLat Cycle
+
+	// HitPrefetched is set on the response when the request hit a line
+	// installed by a prefetch.
+	HitPrefetched bool
+
+	// Done, if non-nil, is invoked exactly once when the request's data
+	// is available at the requesting level.
+	Done func(*Request)
+}
+
+// String returns a compact debug representation.
+func (r *Request) String() string {
+	return fmt.Sprintf("{%s line=%#x ip=%#x t=%d}", r.Kind, uint64(r.Line), uint64(r.IP), r.Timestamp)
+}

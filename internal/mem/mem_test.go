@@ -1,0 +1,77 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineAddrRoundTrip(t *testing.T) {
+	f := func(raw uint64) bool {
+		l := Line(raw >> LineBits) // any representable line
+		return LineOf(l.Addr()) == l
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLineOfMasksOffset(t *testing.T) {
+	f := func(raw uint64, off uint8) bool {
+		base := Addr(raw &^ uint64(LineSize-1))
+		return LineOf(base+Addr(off)%LineSize) == LineOf(base)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		KindLoad:        "load",
+		KindRFO:         "rfo",
+		KindPrefetch:    "prefetch",
+		KindWriteback:   "writeback",
+		KindCommitWrite: "commit-write",
+		KindRefetch:     "refetch",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if Kind(200).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestKindIsDemand(t *testing.T) {
+	for k := Kind(0); int(k) < NumKinds; k++ {
+		want := k == KindLoad || k == KindRFO
+		if k.IsDemand() != want {
+			t.Errorf("%v.IsDemand() = %v", k, k.IsDemand())
+		}
+	}
+}
+
+func TestLevelStrings(t *testing.T) {
+	for l, s := range map[Level]string{LvlL1D: "L1D", LvlL2: "L2", LvlLLC: "LLC", LvlDRAM: "DRAM"} {
+		if l.String() != s {
+			t.Errorf("Level(%d) = %q, want %q", l, l.String(), s)
+		}
+	}
+}
+
+func TestLevelOrdering(t *testing.T) {
+	// SUF and the fill path rely on L1D < L2 < LLC < DRAM.
+	if !(LvlL1D < LvlL2 && LvlL2 < LvlLLC && LvlLLC < LvlDRAM) {
+		t.Fatal("level ordering broken")
+	}
+}
+
+func TestRequestString(t *testing.T) {
+	r := &Request{Line: 0x123, IP: 0x400, Kind: KindPrefetch, Timestamp: 7}
+	s := r.String()
+	if s == "" {
+		t.Fatal("empty request string")
+	}
+}

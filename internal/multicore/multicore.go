@@ -1,0 +1,143 @@
+// Package multicore assembles the paper's 4-core evaluation system:
+// per-core private GM/L1D/L2 (and prefetcher), a shared banked LLC, and
+// one DRAM channel per four cores (Table II). Each core runs its own
+// trace; results are reported as weighted speedup against single-core
+// baseline IPCs, as in §VII-B.
+package multicore
+
+import (
+	"errors"
+	"fmt"
+
+	"secpref/internal/cache"
+	"secpref/internal/mem"
+	"secpref/internal/sim"
+	"secpref/internal/trace"
+)
+
+// Config describes the multi-core run: the per-core configuration is
+// cloned from Single (with the LLC replaced by the shared one).
+type Config struct {
+	// Single holds the per-core system configuration (prefetcher, mode,
+	// secure, SUF, instruction counts).
+	Single sim.Config
+	// Cores is the core count (the paper evaluates 4).
+	Cores int
+}
+
+// DefaultConfig returns the paper's 4-core setup.
+func DefaultConfig() Config {
+	return Config{Single: sim.DefaultConfig(), Cores: 4}
+}
+
+// Result aggregates the per-core results of one mix.
+type Result struct {
+	PerCore []*sim.Result
+	// Cycles is the wall-clock cycles until every core finished its
+	// measured instruction budget.
+	Cycles uint64
+}
+
+// WeightedSpeedup computes sum_i(IPC_i / IPCalone_i) given the
+// same-trace single-core baseline IPCs.
+func (r *Result) WeightedSpeedup(alone []float64) (float64, error) {
+	if len(alone) != len(r.PerCore) {
+		return 0, fmt.Errorf("multicore: %d baseline IPCs for %d cores", len(alone), len(r.PerCore))
+	}
+	ws := 0.0
+	for i, rc := range r.PerCore {
+		if alone[i] <= 0 {
+			return 0, fmt.Errorf("multicore: non-positive baseline IPC for core %d", i)
+		}
+		ws += rc.IPC / alone[i]
+	}
+	return ws, nil
+}
+
+// ErrMixSize reports a trace/core count mismatch.
+var ErrMixSize = errors.New("multicore: mix size must equal core count")
+
+// Run simulates the mix (one trace per core) to completion: all cores
+// retire their measured budget; cores that finish early keep consuming
+// shared resources replaying their trace, as ChampSim does.
+func Run(cfg Config, mix []trace.Source) (*Result, error) {
+	if len(mix) != cfg.Cores {
+		return nil, ErrMixSize
+	}
+	machines, llc, dramTick, err := build(cfg, mix)
+	if err != nil {
+		return nil, err
+	}
+	_ = llc
+
+	warmup := uint64(cfg.Single.WarmupInstrs)
+	measured := uint64(cfg.Single.MaxInstrs)
+	maxCycles := cfg.Single.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = mem.Cycle(2000 * (cfg.Single.WarmupInstrs + cfg.Single.MaxInstrs))
+	}
+
+	var now mem.Cycle
+	stepAll := func() {
+		now++
+		for _, m := range machines {
+			m.TickCore(now)
+		}
+		llc.Tick(now)
+		dramTick(now)
+	}
+	reached := func(n uint64) bool {
+		for _, m := range machines {
+			if m.Instructions() < n {
+				return false
+			}
+		}
+		return true
+	}
+	lastProgress := now
+	var lastSum uint64
+	runTo := func(n uint64) error {
+		for !reached(n) {
+			stepAll()
+			var sum uint64
+			for _, m := range machines {
+				sum += m.Instructions()
+			}
+			if sum != lastSum {
+				lastSum = sum
+				lastProgress = now
+			} else if now-lastProgress > 500_000 {
+				return sim.ErrNoProgress
+			}
+			if now > maxCycles {
+				return fmt.Errorf("multicore: cycle budget exhausted at %d", now)
+			}
+		}
+		return nil
+	}
+
+	if warmup > 0 {
+		if err := runTo(warmup); err != nil {
+			return nil, err
+		}
+		// Stats (including retired-instruction counters) reset to zero,
+		// so the measured target below is relative to the reset.
+		for _, m := range machines {
+			m.ResetStats()
+		}
+	}
+	start := now
+	if err := runTo(measured); err != nil {
+		return nil, err
+	}
+	res := &Result{Cycles: uint64(now - start)}
+	for i, m := range machines {
+		res.PerCore = append(res.PerCore, m.Snapshot(mix[i].Name(), now-start))
+	}
+	return res, nil
+}
+
+// build assembles per-core machines around a shared LLC and DRAM.
+func build(cfg Config, mix []trace.Source) ([]*sim.CoreSystem, *cache.Cache, func(mem.Cycle), error) {
+	return sim.BuildShared(cfg.Single, cfg.Cores, mix)
+}

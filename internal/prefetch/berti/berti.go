@@ -1,0 +1,272 @@
+// Package berti implements the Berti local-delta data prefetcher
+// (Navarro-Torres et al., MICRO 2022), configured per the paper's
+// Table III: a 128-entry history table and a 16-entry delta table with
+// 16 deltas per entry (~2.55 KB). Berti is an L1D prefetcher and is
+// self-timing: it learns, per IP, the deltas that would have produced
+// *timely* prefetches given the measured fetch latency, and issues the
+// highest-coverage deltas, orchestrating the fill level (L1D vs L2) by
+// coverage and L1D MSHR occupancy.
+//
+// The same engine implements all three operating points of the paper:
+//
+//   - On-access Berti: history records access times; Observe is called
+//     at fill time with the true fetch latency.
+//   - On-commit Berti (secure, naive): history records commit times;
+//     Observe is called at commit with the GM-to-L1D on-commit write
+//     latency — the misleading signal §V-B describes, which learns
+//     deltas that are timely at commit but late at access.
+//   - TSB (Timely Secure Berti, the paper's contribution): history
+//     records commit times, but Observe is called at commit with the
+//     X-LQ's *access* timestamp and the true fetch latency to the GM,
+//     so the learned deltas are timely at access despite commit-time
+//     triggering (§V-C).
+//
+// The caller (the simulator's prefetcher harness) decides which times
+// and latencies to supply; the search logic here is shared.
+package berti
+
+import (
+	"secpref/internal/mem"
+	"secpref/internal/prefetch"
+)
+
+const (
+	historySize = 128
+	deltaIPs    = 16
+	deltasPerIP = 16
+
+	// Coverage thresholds (fraction of searches a delta was timely in).
+	covL1 = 0.60 // fill to L1D
+	covL2 = 0.30 // fill to L2
+
+	// roundSize searches per normalization round; counters halve so
+	// coverage tracks recent behaviour.
+	roundSize = 64
+
+	// mshrReserve: with fewer free L1D MSHRs than this, L1D-destined
+	// prefetches are demoted to L2 (Berti's occupancy orchestration).
+	// Half the Table II L1D MSHR count: demand misses — which in the
+	// secure system include every speculative probe — keep priority.
+	mshrReserve = 8
+
+	// maxIssuePerTrigger bounds the deltas issued per training event.
+	maxIssuePerTrigger = 4
+)
+
+type histEntry struct {
+	ipHash uint32
+	line   mem.Line
+	ts     mem.Cycle
+	valid  bool
+}
+
+type deltaEntry struct {
+	delta int32
+	count uint16
+}
+
+type ipDeltas struct {
+	valid    bool
+	ipHash   uint32
+	searches uint16
+	deltas   [deltasPerIP]deltaEntry
+	lru      uint32
+}
+
+// Prefetcher is the Berti/TSB engine.
+type Prefetcher struct {
+	hist    [historySize]histEntry
+	histPos int
+	table   [deltaIPs]ipDeltas
+	clock   uint32
+	issue   prefetch.Issuer
+
+	// MSHRFree, if set, reports free L1D MSHR entries for fill-level
+	// orchestration.
+	MSHRFree func() int
+
+	// TrainCalls, ObserveCalls, and IssueAttempts count engine activity
+	// (diagnostics).
+	TrainCalls, ObserveCalls, IssueAttempts uint64
+}
+
+func init() {
+	prefetch.Register("berti", func(issue prefetch.Issuer) prefetch.Prefetcher {
+		return New(issue)
+	})
+}
+
+// New builds a Berti prefetcher.
+func New(issue prefetch.Issuer) *Prefetcher {
+	return &Prefetcher{issue: issue}
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *Prefetcher) Name() string { return "berti" }
+
+// Home implements prefetch.Prefetcher: Berti is an L1D prefetcher.
+func (p *Prefetcher) Home() mem.Level { return mem.LvlL1D }
+
+// StorageBytes implements prefetch.Prefetcher (Table III: 2.55 KB).
+func (p *Prefetcher) StorageBytes() int { return 2611 }
+
+func ipHash(ip mem.Addr) uint32 {
+	h := uint64(ip) >> 2
+	h *= 0x9e3779b97f4a7c15
+	return uint32(h >> 32)
+}
+
+// Train implements prefetch.Prefetcher: record the access in the
+// history and issue the learned deltas for this IP. ev.Cycle is the
+// training time (access time on-access; commit time on-commit/TSB).
+func (p *Prefetcher) Train(ev prefetch.Event) {
+	p.TrainCalls++
+	h := ipHash(ev.IP)
+	// Only misses and first-touch prefetch hits train Berti (regular
+	// hits neither insert history nor trigger — per the Berti design,
+	// they would pollute delta timing).
+	if !ev.Hit || ev.HitPrefetched {
+		p.hist[p.histPos] = histEntry{ipHash: h, line: ev.Line, ts: ev.Cycle, valid: true}
+		p.histPos = (p.histPos + 1) % historySize
+	}
+	p.issueDeltas(h, ev.Line, ev.IP)
+}
+
+// Observe performs the timely-delta search: given the current access's
+// line, a reference time, and the fetch latency, it finds the *nearest*
+// history entry of the same IP old enough that a prefetch triggered
+// there would have completed by refTime (ts + latency <= refTime), and
+// that entry's delta gets a coverage vote. Taking only the nearest
+// timely access — rather than every timely one — is what keeps the
+// learned delta minimal and the issue rate at one line per trigger, per
+// the Berti design ("searches for the nearest instruction capable of
+// triggering a timely prefetch").
+func (p *Prefetcher) Observe(ip mem.Addr, line mem.Line, refTime mem.Cycle, latency mem.Cycle) {
+	p.ObserveCalls++
+	h := ipHash(ip)
+	e := p.tableFor(h)
+	e.searches++
+	var best, second *histEntry
+	for i := range p.hist {
+		he := &p.hist[i]
+		if !he.valid || he.ipHash != h || he.line == line {
+			continue
+		}
+		if he.ts+latency > refTime {
+			continue
+		}
+		switch {
+		case best == nil || he.ts > best.ts:
+			second = best
+			best = he
+		case second == nil || he.ts > second.ts:
+			second = he
+		}
+	}
+	// The two nearest timely candidates vote: the minimal timely delta
+	// plus the next one back, giving the issuer a second step of
+	// lookahead depth (Berti's delta table holds several live deltas
+	// per IP; nearest-only voting would collapse it to one).
+	for _, he := range [...]*histEntry{best, second} {
+		if he == nil {
+			continue
+		}
+		if d := int32(int64(line) - int64(he.line)); d != 0 {
+			p.bump(e, d)
+		}
+	}
+	if e.searches >= roundSize {
+		e.searches /= 2
+		for i := range e.deltas {
+			e.deltas[i].count /= 2
+		}
+	}
+}
+
+func (p *Prefetcher) tableFor(h uint32) *ipDeltas {
+	p.clock++
+	for i := range p.table {
+		e := &p.table[i]
+		if e.valid && e.ipHash == h {
+			e.lru = p.clock
+			return e
+		}
+	}
+	victim := &p.table[0]
+	for i := range p.table {
+		e := &p.table[i]
+		if !e.valid {
+			victim = e
+			break
+		}
+		if e.lru < victim.lru {
+			victim = e
+		}
+	}
+	*victim = ipDeltas{valid: true, ipHash: h, lru: p.clock}
+	return victim
+}
+
+func (p *Prefetcher) bump(e *ipDeltas, d int32) {
+	var free *deltaEntry
+	var min *deltaEntry
+	for i := range e.deltas {
+		de := &e.deltas[i]
+		if de.count > 0 && de.delta == d {
+			de.count++
+			return
+		}
+		if de.count == 0 && free == nil {
+			free = de
+		}
+		if min == nil || de.count < min.count {
+			min = de
+		}
+	}
+	if free != nil {
+		*free = deltaEntry{delta: d, count: 1}
+		return
+	}
+	// Replace the weakest delta.
+	*min = deltaEntry{delta: d, count: 1}
+}
+
+// issueDeltas sends prefetches for the high-coverage deltas of IP.
+func (p *Prefetcher) issueDeltas(h uint32, line mem.Line, ip mem.Addr) {
+	var e *ipDeltas
+	for i := range p.table {
+		if p.table[i].valid && p.table[i].ipHash == h {
+			e = &p.table[i]
+			break
+		}
+	}
+	if e == nil || e.searches == 0 {
+		return
+	}
+	denom := float64(e.searches)
+	demote := p.MSHRFree != nil && p.MSHRFree() < mshrReserve
+	issued := 0
+	for i := range e.deltas {
+		de := e.deltas[i]
+		if de.count == 0 {
+			continue
+		}
+		cov := float64(de.count) / denom
+		if cov < covL2 {
+			continue
+		}
+		fill := mem.LvlL2
+		if cov >= covL1 && !demote {
+			fill = mem.LvlL1D
+		}
+		p.IssueAttempts++
+		p.issue(mem.Line(int64(line)+int64(de.delta)), ip, fill)
+		if issued++; issued >= maxIssuePerTrigger {
+			return
+		}
+	}
+}
+
+// Fill implements prefetch.Prefetcher. The harness calls Observe with
+// mode-appropriate times instead; Fill is unused for Berti.
+func (p *Prefetcher) Fill(mem.Line, mem.Cycle, bool, mem.Cycle) {}

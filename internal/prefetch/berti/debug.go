@@ -1,0 +1,22 @@
+package berti
+
+import "fmt"
+
+// DebugTable dumps the per-IP delta tables (diagnostics).
+func (p *Prefetcher) DebugTable() []string {
+	var out []string
+	for i := range p.table {
+		e := &p.table[i]
+		if !e.valid || e.searches == 0 {
+			continue
+		}
+		s := fmt.Sprintf("ip=%08x searches=%d:", e.ipHash, e.searches)
+		for _, d := range e.deltas {
+			if d.count > 0 {
+				s += fmt.Sprintf(" %+d(%d,cov=%.2f)", d.delta, d.count, float64(d.count)/float64(e.searches))
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package prefetch
+
+import (
+	"secpref/internal/mem"
+	"secpref/internal/stats"
+)
+
+// Classifier implements the paper's Fig. 6 demand-miss taxonomy for
+// on-commit prefetching. It runs a *shadow* instance of the same
+// prefetcher trained on the access stream (as an on-access prefetcher
+// would be), recording — without issuing — the lines it would have
+// requested and when. Demand misses at the prefetcher's home level are
+// then classified:
+//
+//   - Late: the miss merged with an in-flight prefetch (from the real,
+//     on-commit prefetcher) — the traditional late prefetch.
+//   - Commit-late: the on-access shadow had already requested the line,
+//     and the real on-commit prefetcher requests it shortly *after* the
+//     miss — i.e. the prefetch had not been triggered yet only because
+//     triggering waits for commit (the paper's new class).
+//   - Missed opportunity: the shadow had requested it, but the real
+//     prefetcher (trained in commit order) never does — commit-order
+//     training lost the pattern.
+//   - Uncovered: everything else.
+//
+// Because commit-late vs. missed-opportunity depends on what the real
+// prefetcher does *after* the miss, misses with a shadow hit are parked
+// in a pending window and resolved either by a matching real prefetch
+// issue (commit-late) or by timeout (missed opportunity).
+type Classifier struct {
+	shadow Prefetcher
+	// shadowIssued remembers the shadow's recent would-be prefetches.
+	shadowIssued map[mem.Line]mem.Cycle
+	shadowOrder  []mem.Line
+
+	// realIssued remembers the real prefetcher's recent issues: a miss
+	// on a recently-issued line is a late prefetch (triggered before
+	// the miss, data not back yet — possibly in flight at a deeper
+	// level, where the MSHR merge is invisible to this observer).
+	realIssued map[mem.Line]mem.Cycle
+	realOrder  []mem.Line
+
+	pending map[mem.Line]mem.Cycle
+	order   []pendingMiss
+
+	// Class accumulates the Fig. 6 counters.
+	Class stats.MissClass
+}
+
+type pendingMiss struct {
+	line mem.Line
+	at   mem.Cycle
+}
+
+const (
+	shadowWindow  = 8192 // lines remembered from the shadow
+	pendingWindow = 4096 // cycles before commit-late resolves to missed-opportunity
+)
+
+// NewClassifier builds a classifier around a shadow instance of the
+// prefetcher under study. The shadow must have been constructed with an
+// Issuer that calls ShadowIssue (see NewShadow).
+func NewClassifier() *Classifier {
+	return &Classifier{
+		shadowIssued: make(map[mem.Line]mem.Cycle, shadowWindow),
+		realIssued:   make(map[mem.Line]mem.Cycle, shadowWindow),
+		pending:      make(map[mem.Line]mem.Cycle, 1024),
+	}
+}
+
+// AttachShadow registers the shadow prefetcher instance (trained by the
+// caller on the access stream).
+func (c *Classifier) AttachShadow(p Prefetcher) { c.shadow = p }
+
+// Shadow returns the attached shadow prefetcher.
+func (c *Classifier) Shadow() Prefetcher { return c.shadow }
+
+// ShadowIssue is the Issuer for the shadow instance: it records the
+// would-be prefetch instead of sending it.
+func (c *Classifier) ShadowIssue(line mem.Line, _ mem.Addr, _ mem.Level) bool {
+	if _, ok := c.shadowIssued[line]; !ok {
+		c.shadowOrder = append(c.shadowOrder, line)
+		if len(c.shadowOrder) > shadowWindow {
+			old := c.shadowOrder[0]
+			c.shadowOrder = c.shadowOrder[1:]
+			delete(c.shadowIssued, old)
+		}
+	}
+	c.shadowIssued[line] = 0 // value unused; presence is the record
+	return true
+}
+
+// OnDemandMiss classifies a demand miss at the home level. merged
+// reports an MSHR merge with an in-flight prefetch.
+func (c *Classifier) OnDemandMiss(line mem.Line, merged bool, now mem.Cycle) {
+	c.Class.TotalMisses++
+	c.expire(now)
+	if merged {
+		c.Class.Late++
+		return
+	}
+	if at, issued := c.realIssued[line]; issued && at+pendingWindow > now {
+		// The real prefetcher triggered this line before the miss and
+		// the data has not arrived: a late prefetch.
+		c.Class.Late++
+		return
+	}
+	if _, shadowHad := c.shadowIssued[line]; shadowHad {
+		// Shadow (on-access) would have covered it; park until we learn
+		// whether the on-commit prefetcher eventually asks for it.
+		if _, dup := c.pending[line]; !dup {
+			c.pending[line] = now
+			c.order = append(c.order, pendingMiss{line, now})
+		}
+		return
+	}
+	c.Class.Uncovered++
+}
+
+// OnRealIssue observes the real (on-commit) prefetcher's issues: a
+// pending miss it covers is a commit-late prefetch.
+func (c *Classifier) OnRealIssue(line mem.Line, now mem.Cycle) {
+	if _, ok := c.pending[line]; ok {
+		delete(c.pending, line)
+		c.Class.CommitLate++
+	}
+	if _, ok := c.realIssued[line]; !ok {
+		c.realOrder = append(c.realOrder, line)
+		if len(c.realOrder) > shadowWindow {
+			old := c.realOrder[0]
+			c.realOrder = c.realOrder[1:]
+			delete(c.realIssued, old)
+		}
+	}
+	c.realIssued[line] = now
+	c.expire(now)
+}
+
+// expire resolves pending misses older than the window to
+// missed-opportunity.
+func (c *Classifier) expire(now mem.Cycle) {
+	for len(c.order) > 0 {
+		pm := c.order[0]
+		if pm.at+pendingWindow > now {
+			return
+		}
+		c.order = c.order[1:]
+		if _, ok := c.pending[pm.line]; ok {
+			delete(c.pending, pm.line)
+			c.Class.MissedOpp++
+		}
+	}
+}
+
+// Finalize resolves all still-pending misses (end of simulation) as
+// missed opportunities.
+func (c *Classifier) Finalize() {
+	for range c.pending {
+		c.Class.MissedOpp++
+	}
+	c.pending = map[mem.Line]mem.Cycle{}
+	c.order = nil
+}

@@ -1,0 +1,158 @@
+package spp
+
+import (
+	"secpref/internal/mem"
+	"secpref/internal/prefetch"
+)
+
+// ppf is the perceptron-based prefetch filter. Candidate prefetches are
+// scored by summing signed weights from feature tables; candidates
+// scoring below perceptronTau are rejected. Issued and rejected
+// candidates are remembered (prefetch table / reject table, 1024
+// entries each per Table III) so later demand behaviour can train the
+// weights: a demand hit on an issued prefetch is a positive example, an
+// issued prefetch aged out unused is negative, and a demand miss on a
+// rejected line is a false reject (positive).
+type ppf struct {
+	wSig   [4096]int8 // signature
+	wSigIP [4096]int8 // signature ^ IP
+	wOffD  [2048]int8 // offset + delta
+	wConf  [2048]int8 // quantized path confidence
+	wIP    [1024]int8 // IP
+	wPage  [1024]int8 // page low bits
+	wDepth [128]int8  // lookahead depth
+
+	issuedQ  fifoSet
+	rejectQ  fifoSet
+	features map[mem.Line]featVec
+}
+
+type featVec struct {
+	iSig, iSigIP, iOffD, iConf, iIP, iPage, iDepth int
+}
+
+// fifoSet is a bounded FIFO of lines with O(1) membership.
+type fifoSet struct {
+	order []mem.Line
+	set   map[mem.Line]struct{}
+}
+
+func (f *fifoSet) add(l mem.Line) (evicted mem.Line, hasEvict bool) {
+	if f.set == nil {
+		f.set = make(map[mem.Line]struct{}, feedbackCap)
+	}
+	if _, ok := f.set[l]; ok {
+		return 0, false
+	}
+	f.order = append(f.order, l)
+	f.set[l] = struct{}{}
+	if len(f.order) > feedbackCap {
+		old := f.order[0]
+		f.order = f.order[1:]
+		delete(f.set, old)
+		return old, true
+	}
+	return 0, false
+}
+
+func (f *fifoSet) remove(l mem.Line) bool {
+	if _, ok := f.set[l]; !ok {
+		return false
+	}
+	delete(f.set, l)
+	for i, x := range f.order {
+		if x == l {
+			f.order = append(f.order[:i], f.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+func (p *ppf) vector(ev prefetch.Event, sig uint16, delta, off int8, conf, depth int) featVec {
+	ip := uint64(ev.IP) >> 2
+	page := pageOf(ev.Line)
+	return featVec{
+		iSig:   int(sig) & 4095,
+		iSigIP: int(uint64(sig)^ip) & 4095,
+		iOffD:  (int(off)<<6 ^ int(uint8(delta))) & 2047,
+		iConf:  (conf/4<<5 ^ int(uint8(delta))) & 2047,
+		iIP:    int(ip*0x9e3779b9>>16) & 1023,
+		iPage:  int(page*0x85ebca6b>>16) & 1023,
+		iDepth: depth & 127,
+	}
+}
+
+func (p *ppf) score(v featVec) int {
+	return int(p.wSig[v.iSig]) + int(p.wSigIP[v.iSigIP]) + int(p.wOffD[v.iOffD]) +
+		int(p.wConf[v.iConf]) + int(p.wIP[v.iIP]) + int(p.wPage[v.iPage]) + int(p.wDepth[v.iDepth])
+}
+
+func (p *ppf) train(v featVec, up bool) {
+	adj := func(w *int8) {
+		if up && *w < 31 {
+			*w++
+		} else if !up && *w > -32 {
+			*w--
+		}
+	}
+	adj(&p.wSig[v.iSig])
+	adj(&p.wSigIP[v.iSigIP])
+	adj(&p.wOffD[v.iOffD])
+	adj(&p.wConf[v.iConf])
+	adj(&p.wIP[v.iIP])
+	adj(&p.wPage[v.iPage])
+	adj(&p.wDepth[v.iDepth])
+}
+
+// accept scores a candidate and records the decision for feedback.
+func (p *ppf) accept(ev prefetch.Event, sig uint16, delta, off int8, conf, depth int) bool {
+	if p.features == nil {
+		p.features = make(map[mem.Line]featVec, 2*feedbackCap)
+	}
+	page := pageOf(ev.Line)
+	line := mem.Line(page*pageLines + uint64(off))
+	v := p.vector(ev, sig, delta, off, conf, depth)
+	if p.score(v) < perceptronTau {
+		if _, evict := p.rejectQ.add(line); evict {
+			// fall through; stale feature entries are overwritten lazily
+		}
+		p.features[line] = v
+		return false
+	}
+	p.features[line] = v
+	return true
+}
+
+// recordIssued notes that line was actually sent to the hierarchy.
+func (p *ppf) recordIssued(line mem.Line) {
+	if old, evict := p.issuedQ.add(line); evict {
+		// Aged out unused: negative example.
+		if v, ok := p.features[old]; ok {
+			p.train(v, false)
+			delete(p.features, old)
+		}
+	}
+}
+
+// feedback consumes a demand training event: positive for used
+// prefetches, false-reject recovery for rejected-then-missed lines.
+func (p *ppf) feedback(ev prefetch.Event, _ *[ptSets]ptEntry) {
+	if ev.HitPrefetched {
+		if p.issuedQ.remove(ev.Line) {
+			if v, ok := p.features[ev.Line]; ok {
+				p.train(v, true)
+				delete(p.features, ev.Line)
+			}
+		}
+		return
+	}
+	if !ev.Hit {
+		if p.rejectQ.remove(ev.Line) {
+			if v, ok := p.features[ev.Line]; ok {
+				p.train(v, true) // should have prefetched it
+				delete(p.features, ev.Line)
+			}
+		}
+	}
+}

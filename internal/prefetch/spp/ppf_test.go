@@ -1,0 +1,98 @@
+package spp
+
+import (
+	"testing"
+
+	"secpref/internal/mem"
+	"secpref/internal/prefetch"
+)
+
+func TestPPFScoreSymmetry(t *testing.T) {
+	var p ppf
+	ev := prefetch.Event{Line: 1000, IP: 0x400}
+	v := p.vector(ev, 0x123, 2, 10, 80, 1)
+	if p.score(v) != 0 {
+		t.Fatal("zero-weight perceptron must score 0")
+	}
+	p.train(v, true)
+	up := p.score(v)
+	p.train(v, false)
+	p.train(v, false)
+	down := p.score(v)
+	if up <= 0 || down >= up {
+		t.Errorf("training direction wrong: up=%d down=%d", up, down)
+	}
+}
+
+func TestPPFWeightsSaturate(t *testing.T) {
+	var p ppf
+	ev := prefetch.Event{Line: 2000, IP: 0x404}
+	v := p.vector(ev, 0x55, 1, 5, 50, 2)
+	for i := 0; i < 1000; i++ {
+		p.train(v, true)
+	}
+	highScore := p.score(v)
+	p.train(v, true)
+	if p.score(v) != highScore {
+		t.Error("weights did not saturate")
+	}
+	for i := 0; i < 2000; i++ {
+		p.train(v, false)
+	}
+	lowScore := p.score(v)
+	p.train(v, false)
+	if p.score(v) != lowScore {
+		t.Error("weights did not saturate downward")
+	}
+}
+
+func TestFIFOSetBoundedAndExact(t *testing.T) {
+	var f fifoSet
+	for i := 0; i < feedbackCap+50; i++ {
+		f.add(mem.Line(i))
+	}
+	if len(f.order) > feedbackCap || len(f.set) > feedbackCap {
+		t.Fatalf("fifoSet grew to %d/%d", len(f.order), len(f.set))
+	}
+	// Oldest entries evicted; newest present.
+	if f.remove(mem.Line(0)) {
+		t.Error("evicted entry still removable")
+	}
+	if !f.remove(mem.Line(feedbackCap + 49)) {
+		t.Error("fresh entry missing")
+	}
+	// Duplicate adds are idempotent.
+	var g fifoSet
+	g.add(7)
+	g.add(7)
+	if len(g.order) != 1 {
+		t.Error("duplicate add not deduplicated")
+	}
+}
+
+func TestPTDecayKeepsAdapting(t *testing.T) {
+	p := New(func(mem.Line, mem.Addr, mem.Level) bool { return true })
+	// Saturate signature 5 with delta +1, then retrain with +3: the
+	// decay must let the new delta take over.
+	for i := 0; i < 200; i++ {
+		p.ptUpdate(5, 1)
+	}
+	for i := 0; i < 200; i++ {
+		p.ptUpdate(5, 3)
+	}
+	d, cnt, total := p.ptBest(5)
+	if d != 3 {
+		t.Errorf("best delta %d after retraining, want 3 (count %d/%d)", d, cnt, total)
+	}
+}
+
+func TestSigUpdateMixes(t *testing.T) {
+	a := sigUpdate(0, 1)
+	b := sigUpdate(0, 2)
+	if a == b {
+		t.Error("different deltas must produce different signatures")
+	}
+	if sigUpdate(a, 1) == a {
+		t.Error("signature must evolve")
+	}
+}

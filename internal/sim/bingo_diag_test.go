@@ -1,0 +1,41 @@
+package sim
+
+import (
+	"testing"
+
+	"secpref/internal/mem"
+	"secpref/internal/trace"
+	"secpref/internal/workload"
+)
+
+// TestDiagBingo inspects Bingo's behaviour on a stencil and a stream
+// trace (diagnostic).
+func TestDiagBingo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	for _, name := range []string{"654.roms-1007B", "619.lbm-2676B", "605.mcf-1554B"} {
+		tr, err := workload.Get(name, workload.Params{Instrs: 60_000, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := DefaultConfig()
+		base.WarmupInstrs = 10_000
+		base.MaxInstrs = 50_000
+		bres, err := Run(base, trace.NewSource(tr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := base
+		cfg.Prefetcher = "bingo"
+		res, err := Run(cfg, trace.NewSource(tr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s: speedup=%.3f L2prefI=%d L2prefF=%d L2prefU=%d L2prefHitLocal=%d L2pqFull=%d dram=%d(base %d) L2evict=%d",
+			name, res.Speedup(bres),
+			res.L2.PrefIssued, res.L2.PrefFilled, res.L2.PrefUseful, res.L2.PrefHitLocal, res.L2.PQFull,
+			res.DRAM.Reads, bres.DRAM.Reads, res.L2.Evictions)
+		_ = mem.LvlL2
+	}
+}

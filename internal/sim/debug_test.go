@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"testing"
+
+	"secpref/internal/trace"
+	"secpref/internal/workload"
+)
+
+// TestDebugWedge reproduces a wedged configuration and dumps machine
+// state for diagnosis. It is skipped once the smoke test passes; keep
+// it around as a diagnostic harness.
+func TestDebugWedge(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WarmupInstrs = 0
+	cfg.MaxInstrs = 20_000
+	cfg.Prefetcher = "berti"
+
+	tr, err := workload.Get("605.mcf-1554B", workload.Params{Instrs: 20_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(cfg, trace.NewSource(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := uint64(0)
+	lastCycle := m.now
+	for m.core.Stats.Instructions < 20_000 && !m.core.Done() {
+		m.step()
+		if m.core.Stats.Instructions != last {
+			last = m.core.Stats.Instructions
+			lastCycle = m.now
+		}
+		if m.now-lastCycle > 100_000 {
+			t.Logf("WEDGED at cycle %d, %d instructions retired", m.now, last)
+			t.Logf("L1D: rq=%d wq=%d pq=%d fills=%d mshr=%d/%d fwdq=%d",
+				len(m.l1d.DebugQueues()), m.l1d.DebugWQ(), m.l1d.DebugPQ(), m.l1d.DebugFills(), m.l1d.Config().MSHRs-m.l1d.MSHRFree(), m.l1d.Config().MSHRs, m.l1d.DebugFwd())
+			t.Logf("L2 : rq=%d wq=%d pq=%d fills=%d mshr=%d/%d fwdq=%d",
+				len(m.l2.DebugQueues()), m.l2.DebugWQ(), m.l2.DebugPQ(), m.l2.DebugFills(), m.l2.Config().MSHRs-m.l2.MSHRFree(), m.l2.Config().MSHRs, m.l2.DebugFwd())
+			t.Logf("LLC: rq=%d wq=%d pq=%d fills=%d mshr=%d/%d fwdq=%d",
+				len(m.llc.DebugQueues()), m.llc.DebugWQ(), m.llc.DebugPQ(), m.llc.DebugFills(), m.llc.Config().MSHRs-m.llc.MSHRFree(), m.llc.Config().MSHRs, m.llc.DebugFwd())
+			t.Logf("DRAM: rq=%d wq=%d resp=%d", m.mem.DebugRQ(), m.mem.DebugWQ(), m.mem.DebugResp())
+			t.Logf("core: %s", m.core.DebugHead())
+			for _, s := range m.l1d.DebugMSHR() {
+				t.Logf("L1D mshr: %s", s)
+			}
+			t.FailNow()
+		}
+	}
+	t.Logf("completed OK at cycle %d", m.now)
+}

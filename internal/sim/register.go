@@ -1,0 +1,10 @@
+package sim
+
+// Blank imports pull in every prefetcher implementation so that the
+// registry can resolve names.
+import (
+	_ "secpref/internal/prefetch/bingo"
+	_ "secpref/internal/prefetch/ipcp"
+	_ "secpref/internal/prefetch/ipstride"
+	_ "secpref/internal/prefetch/spp"
+)

@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"secpref/internal/energy"
+	"secpref/internal/mem"
+	"secpref/internal/stats"
+)
+
+// Result is the measured outcome of one simulation.
+type Result struct {
+	Config    Config
+	TraceName string
+
+	Instructions uint64
+	Cycles       uint64
+	IPC          float64
+
+	Core stats.CoreStats
+	GM   stats.CacheStats // zero value for non-secure systems
+	L1D  stats.CacheStats
+	L2   stats.CacheStats
+	LLC  stats.CacheStats
+	DRAM stats.DRAMStats
+	TLB  stats.TLBStats
+
+	Class  stats.MissClass
+	Energy energy.Breakdown
+
+	SUFDrops            uint64
+	SUFTrims            uint64
+	DistanceAdaptations uint64
+	PhaseResets         uint64
+	FinalDistance       int
+}
+
+// APKISplit is the Fig. 3 decomposition of L1D accesses per kilo
+// instruction into demand-load, prefetch, and commit-request traffic.
+type APKISplit struct {
+	Load, Prefetch, Commit float64
+}
+
+// Total sums the split.
+func (a APKISplit) Total() float64 { return a.Load + a.Prefetch + a.Commit }
+
+// L1DAPKI computes the Fig. 3/5b split. In the secure system the
+// demand-load component is the speculative probes (GhostMinion accesses
+// L1D in parallel with the GM), and the commit component covers both
+// on-commit writes and re-fetches.
+func (r *Result) L1DAPKI() APKISplit {
+	ins := r.Instructions
+	load := r.L1D.Accesses[mem.KindLoad] + r.L1D.Accesses[mem.KindRFO] + r.L1D.SpecAccesses
+	commit := r.L1D.Accesses[mem.KindCommitWrite] + r.L1D.Accesses[mem.KindRefetch]
+	if r.Config.Secure {
+		// Demand loads reach L1D only as speculative probes; refetches
+		// are commit traffic (already excluded from load above).
+		load = r.L1D.SpecAccesses + r.L1D.Accesses[mem.KindRFO]
+	}
+	return APKISplit{
+		Load:     stats.PerKI(load, ins),
+		Prefetch: stats.PerKI(r.L1D.Accesses[mem.KindPrefetch], ins),
+		Commit:   stats.PerKI(commit, ins),
+	}
+}
+
+// LoadMissLatency returns the average demand-load miss latency observed
+// by the core: the GM's in the secure system (loads are served via the
+// GM), L1D's otherwise (Fig. 4 / Fig. 5c).
+func (r *Result) LoadMissLatency() float64 {
+	if r.Config.Secure {
+		return r.GM.AvgDemandMissLat()
+	}
+	return r.L1D.AvgDemandMissLat()
+}
+
+// HomeLevelMPKI returns demand misses per kilo instruction at the
+// prefetcher's home level — the quantity Fig. 6 decomposes. For L1D
+// homes in the secure system this is the speculative-probe miss rate.
+func (r *Result) HomeLevelMPKI(home mem.Level) float64 {
+	var misses uint64
+	switch home {
+	case mem.LvlL2:
+		misses = r.L2.DemandMisses() + r.L2.Misses[mem.KindRefetch]
+		if r.Config.Secure {
+			misses = r.L2.SpecMisses
+		}
+	default:
+		misses = r.L1D.DemandMisses()
+		if r.Config.Secure {
+			misses = r.GM.Misses[mem.KindLoad]
+		}
+	}
+	return stats.PerKI(misses, r.Instructions)
+}
+
+// PrefAccuracy returns the prefetch accuracy for a prefetcher homed at
+// the given level (Fig. 13). Fills are aggregated across the home level
+// and the deeper cache levels, because the prefetchers legitimately
+// orchestrate fills deeper (Berti's L2 fills, SPP's LLC fills, and
+// MSHR-pressure demotions).
+func (r *Result) PrefAccuracy(home mem.Level) float64 {
+	var useful, filled uint64
+	levels := []*stats.CacheStats{&r.L1D, &r.L2, &r.LLC}
+	for _, s := range levels[home:] {
+		useful += s.PrefUseful
+		filled += s.PrefFilled
+	}
+	if filled == 0 {
+		return 0
+	}
+	return float64(useful) / float64(filled)
+}
+
+// TrafficAPKI returns total accesses per kilo instruction at a level
+// (the memory-hierarchy traffic metric of §VII-A).
+func (r *Result) TrafficAPKI(level mem.Level) float64 {
+	var s *stats.CacheStats
+	switch level {
+	case mem.LvlL2:
+		s = &r.L2
+	case mem.LvlLLC:
+		s = &r.LLC
+	default:
+		s = &r.L1D
+	}
+	return stats.PerKI(s.TotalAccesses(), r.Instructions)
+}
+
+// SUFAccuracy returns the fraction of SUF drops that were correct.
+func (r *Result) SUFAccuracy() float64 { return r.Core.SUFAccuracy() }
+
+// Speedup returns r's IPC relative to a baseline result.
+func (r *Result) Speedup(baseline *Result) float64 {
+	if baseline == nil || baseline.IPC == 0 {
+		return 0
+	}
+	return r.IPC / baseline.IPC
+}

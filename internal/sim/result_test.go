@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"secpref/internal/mem"
+	"secpref/internal/stats"
+)
+
+func TestAPKISplitNonSecure(t *testing.T) {
+	r := &Result{Instructions: 1000}
+	r.L1D.Accesses[mem.KindLoad] = 200
+	r.L1D.Accesses[mem.KindRFO] = 50
+	r.L1D.Accesses[mem.KindPrefetch] = 100
+	ap := r.L1DAPKI()
+	if ap.Load != 250 || ap.Prefetch != 100 || ap.Commit != 0 {
+		t.Errorf("split %+v", ap)
+	}
+	if ap.Total() != 350 {
+		t.Errorf("total %f", ap.Total())
+	}
+}
+
+func TestAPKISplitSecure(t *testing.T) {
+	r := &Result{Instructions: 1000}
+	r.Config.Secure = true
+	r.L1D.SpecAccesses = 200
+	r.L1D.Accesses[mem.KindRFO] = 50
+	r.L1D.Accesses[mem.KindCommitWrite] = 150
+	r.L1D.Accesses[mem.KindRefetch] = 30
+	ap := r.L1DAPKI()
+	if ap.Load != 250 {
+		t.Errorf("secure load APKI %f (spec probes + RFOs)", ap.Load)
+	}
+	if ap.Commit != 180 {
+		t.Errorf("commit APKI %f", ap.Commit)
+	}
+}
+
+func TestLoadMissLatencySelectsLevel(t *testing.T) {
+	r := &Result{}
+	r.L1D.DemandMissLatSum, r.L1D.DemandMissLatCnt = 500, 5
+	r.GM.DemandMissLatSum, r.GM.DemandMissLatCnt = 900, 3
+	if r.LoadMissLatency() != 100 {
+		t.Errorf("non-secure latency %f", r.LoadMissLatency())
+	}
+	r.Config.Secure = true
+	if r.LoadMissLatency() != 300 {
+		t.Errorf("secure latency %f (should read the GM)", r.LoadMissLatency())
+	}
+}
+
+func TestPrefAccuracyAggregatesDeeperLevels(t *testing.T) {
+	r := &Result{}
+	r.L1D.PrefFilled, r.L1D.PrefUseful = 10, 9
+	r.L2.PrefFilled, r.L2.PrefUseful = 10, 1
+	if acc := r.PrefAccuracy(mem.LvlL1D); acc != 0.5 {
+		t.Errorf("L1D-home accuracy %f, want 0.5 (aggregated)", acc)
+	}
+	if acc := r.PrefAccuracy(mem.LvlL2); acc != 0.1 {
+		t.Errorf("L2-home accuracy %f", acc)
+	}
+}
+
+func TestSpeedupGuards(t *testing.T) {
+	r := &Result{IPC: 2}
+	if r.Speedup(nil) != 0 || r.Speedup(&Result{}) != 0 {
+		t.Error("speedup must guard nil/zero baselines")
+	}
+	if r.Speedup(&Result{IPC: 1}) != 2 {
+		t.Error("speedup wrong")
+	}
+}
+
+func TestConfigLabels(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Label() != "no-pref/non-secure" {
+		t.Errorf("label %q", cfg.Label())
+	}
+	cfg.Secure, cfg.SUF = true, true
+	cfg.Prefetcher = "berti"
+	cfg.Mode = ModeTimelySecure
+	if got := cfg.Label(); !strings.Contains(got, "berti") || !strings.Contains(got, "SUF") {
+		t.Errorf("label %q", got)
+	}
+	for m, want := range map[Mode]string{ModeOnAccess: "on-access", ModeOnCommit: "on-commit", ModeTimelySecure: "timely-secure"} {
+		if m.String() != want {
+			t.Errorf("Mode(%d) = %q", m, m.String())
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxInstrs = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("zero MaxInstrs should fail validation")
+	}
+	cfg = DefaultConfig()
+	cfg.SUF = true
+	if err := cfg.Validate(); err == nil {
+		t.Error("SUF without Secure should fail validation")
+	}
+	_ = stats.CacheStats{}
+}

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"secpref/internal/trace"
+	"secpref/internal/workload"
+)
+
+// shapeTraces is a small representative set: a pointer chase, a stream,
+// a stencil, and a graph kernel.
+var shapeTraces = []string{"605.mcf-1554B", "603.bwa-2931B", "654.roms-1007B", "bfs-3B"}
+
+// geomeanSpeedup runs variant and baseline over shapeTraces and returns
+// the geometric-mean speedup.
+func geomeanSpeedup(t *testing.T, mut func(*Config)) float64 {
+	t.Helper()
+	sum := 0.0
+	for _, name := range shapeTraces {
+		tr, err := workload.Get(name, workload.Params{Instrs: 60_000, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := DefaultConfig()
+		base.WarmupInstrs = 10_000
+		base.MaxInstrs = 50_000
+		bres, err := Run(base, trace.NewSource(tr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := base
+		mut(&cfg)
+		res, err := Run(cfg, trace.NewSource(tr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += math.Log(res.Speedup(bres))
+	}
+	return math.Exp(sum / float64(len(shapeTraces)))
+}
+
+// TestPaperShapes guards the qualitative results the reproduction
+// stands on. Tolerances are wide: these are direction checks, not
+// calibration checks.
+func TestPaperShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+
+	secure := geomeanSpeedup(t, func(c *Config) { c.Secure = true })
+	if secure >= 1.0 || secure < 0.80 {
+		t.Errorf("GhostMinion speedup %.3f: paper reports a modest slowdown (~5%%)", secure)
+	}
+
+	onCommit := geomeanSpeedup(t, func(c *Config) {
+		c.Secure = true
+		c.Prefetcher = "berti"
+		c.Mode = ModeOnCommit
+	})
+	tsb := geomeanSpeedup(t, func(c *Config) {
+		c.Secure = true
+		c.Prefetcher = "berti"
+		c.Mode = ModeTimelySecure
+	})
+	if tsb <= onCommit {
+		t.Errorf("TSB (%.3f) must beat on-commit Berti (%.3f)", tsb, onCommit)
+	}
+
+	tsbSUF := geomeanSpeedup(t, func(c *Config) {
+		c.Secure = true
+		c.SUF = true
+		c.Prefetcher = "berti"
+		c.Mode = ModeTimelySecure
+	})
+	if tsbSUF < tsb*0.995 {
+		t.Errorf("TSB+SUF (%.3f) should not fall below TSB (%.3f)", tsbSUF, tsb)
+	}
+
+	onAccess := geomeanSpeedup(t, func(c *Config) { c.Prefetcher = "berti" })
+	if onAccess <= 1.0 {
+		t.Errorf("on-access Berti speedup %.3f: prefetching must help the non-secure system", onAccess)
+	}
+	t.Logf("shapes: secure=%.3f onAccess=%.3f onCommit=%.3f tsb=%.3f tsb+suf=%.3f",
+		secure, onAccess, onCommit, tsb, tsbSUF)
+}
+
+// TestSUFAccuracyHigh checks the §VII-A claim that SUF filters
+// correctly almost always.
+func TestSUFAccuracyHigh(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	tr, err := workload.Get("654.roms-1007B", workload.Params{Instrs: 60_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.WarmupInstrs = 10_000
+	cfg.MaxInstrs = 50_000
+	cfg.Secure = true
+	cfg.SUF = true
+	cfg.Prefetcher = "berti"
+	cfg.Mode = ModeTimelySecure
+	res, err := Run(cfg, trace.NewSource(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Core.SUFDrops == 0 {
+		t.Fatal("SUF never dropped an update")
+	}
+	if acc := res.SUFAccuracy(); acc < 0.90 {
+		t.Errorf("SUF accuracy %.3f, paper reports >87%% worst-case and ~99%% average", acc)
+	}
+}

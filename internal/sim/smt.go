@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"fmt"
+
+	"secpref/internal/cache"
+	seccore "secpref/internal/core"
+	"secpref/internal/cpu"
+	"secpref/internal/dram"
+	"secpref/internal/ghostminion"
+	"secpref/internal/mem"
+	"secpref/internal/tlb"
+	"secpref/internal/trace"
+)
+
+// BuildSMT assembles a 2-way SMT core: two hardware threads with
+// private GMs (speculative state is per-context) sharing one L1D, L2,
+// LLC and DRAM channel — the §VII-B configuration where cross-thread
+// evictions can invalidate SUF's recorded hit levels. Each thread runs
+// its own trace in a disjoint address space.
+//
+// The returned tick function advances the shared levels and DRAM once
+// per cycle (threads are ticked individually via TickSMT).
+func BuildSMT(cfg Config, threads []trace.Source) ([]*Machine, func(mem.Cycle), error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(threads) != 2 {
+		return nil, nil, fmt.Errorf("sim: SMT model is 2-way, got %d threads", len(threads))
+	}
+	channel := dram.New(cfg.DRAM)
+	llc := cache.New(cache.LLCConfig(1), channel)
+	l2 := cache.New(cfg.L2, llc)
+	l1d := cache.New(cfg.L1D, l2)
+
+	var machines []*Machine
+	for i, src := range threads {
+		src = trace.Repeat(trace.Offset(src, mem.Addr(i)<<40), 1<<62)
+		m := &Machine{cfg: cfg}
+		m.mem = channel
+		m.llc = llc
+		m.l2 = l2
+		m.l1d = l1d
+		var loadPort cpu.LoadPort = l1dLoadPort{l1d}
+		if cfg.Secure {
+			var filter ghostminion.Filter = ghostminion.FullUpdate{}
+			if cfg.SUF {
+				m.suf = new(seccore.SUF)
+				filter = m.suf
+			}
+			m.gm = ghostminion.New(cfg.GM, l1d, filter)
+			loadPort = m.gm
+		}
+		m.core = cpu.New(cfg.Core, src, loadPort, l1dStorePort{l1d})
+		if !cfg.DisableTLB {
+			m.tlbs = tlb.New(cfg.TLB)
+			m.core.TLB = m.tlbs
+		}
+		if i == 0 {
+			// The SMT core has ONE prefetcher at the shared L1D; thread
+			// 0 owns it and its access-stream hooks observe both
+			// threads' traffic.
+			if err := m.buildPrefetcher(); err != nil {
+				return nil, nil, err
+			}
+		} else if len(machines) > 0 {
+			// Later threads share the engine but keep a private X-LQ
+			// (it is part of the per-thread load queue).
+			first := machines[0]
+			m.pf = first.pf
+			m.bertiPF = first.bertiPF
+			m.monitor = first.monitor
+			m.classifier = first.classifier
+			if first.xlq != nil {
+				m.xlq = &seccore.XLQ{}
+			}
+		}
+		m.wireCommit()
+		machines = append(machines, m)
+	}
+	shared := func(now mem.Cycle) {
+		l1d.Tick(now)
+		l2.Tick(now)
+		llc.Tick(now)
+		channel.Tick(now)
+	}
+	return machines, shared, nil
+}
+
+// TickSMT advances only this thread's private components (core, GM);
+// the shared levels are ticked once per cycle by the BuildSMT tick
+// function.
+func (m *Machine) TickSMT(now mem.Cycle) {
+	m.now = now
+	m.core.Tick(now)
+	if m.gm != nil {
+		m.gm.Tick(now)
+	}
+}
+
+// RunSMT simulates a 2-thread SMT pair until both threads retire the
+// configured instruction budget, returning per-thread results.
+func RunSMT(cfg Config, threads []trace.Source) ([]*Result, error) {
+	machines, shared, err := BuildSMT(cfg, threads)
+	if err != nil {
+		return nil, err
+	}
+	warmup := uint64(cfg.WarmupInstrs)
+	measured := uint64(cfg.MaxInstrs)
+	maxCycles := cfg.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = mem.Cycle(2000 * (cfg.WarmupInstrs + cfg.MaxInstrs))
+	}
+	var now mem.Cycle
+	var lastSum uint64
+	lastProgress := now
+	runTo := func(n uint64) error {
+		for {
+			done := true
+			var sum uint64
+			for _, m := range machines {
+				if m.Instructions() < n {
+					done = false
+				}
+				sum += m.Instructions()
+			}
+			if done {
+				return nil
+			}
+			now++
+			for _, m := range machines {
+				m.TickSMT(now)
+			}
+			shared(now)
+			if sum != lastSum {
+				lastSum = sum
+				lastProgress = now
+			} else if now-lastProgress > 500_000 {
+				return ErrNoProgress
+			}
+			if now > maxCycles {
+				return fmt.Errorf("sim: SMT cycle budget exhausted at %d", now)
+			}
+		}
+	}
+	if warmup > 0 {
+		if err := runTo(warmup); err != nil {
+			return nil, err
+		}
+		for _, m := range machines {
+			m.resetStats()
+		}
+	}
+	start := now
+	if err := runTo(measured); err != nil {
+		return nil, err
+	}
+	var out []*Result
+	for i, m := range machines {
+		out = append(out, m.result(threads[i].Name(), now-start))
+	}
+	return out, nil
+}

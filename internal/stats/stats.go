@@ -1,0 +1,210 @@
+// Package stats defines the counter structures every simulator
+// component exposes. The experiment harness derives the paper's
+// metrics from them: APKI and its load/prefetch/commit split (Fig. 3,
+// Fig. 5b), demand-miss latency (Fig. 4, Fig. 5c), MPKI and its
+// coverage/lateness classification (Fig. 6), prefetch accuracy
+// (Fig. 13), traffic and energy (Fig. 14), and MSHR occupancy (§III).
+package stats
+
+import "secpref/internal/mem"
+
+// CacheStats collects per-cache-level counters.
+type CacheStats struct {
+	// Accesses and Misses are indexed by mem.Kind.
+	Accesses [mem.NumKinds]uint64
+	Misses   [mem.NumKinds]uint64
+
+	// SpecAccesses / SpecMisses count GhostMinion speculative-bypass
+	// lookups, which probe the level without updating state.
+	SpecAccesses uint64
+	SpecMisses   uint64
+
+	// DemandMissLatSum accumulates load-miss round-trip cycles (issue to
+	// data return) over DemandMissLatCnt misses.
+	DemandMissLatSum uint64
+	DemandMissLatCnt uint64
+
+	// MSHROccupancy integrates MSHR occupancy over cycles;
+	// MSHRFullCycles counts cycles with no free MSHR; Cycles is the
+	// denominator for both.
+	MSHROccupancy  uint64
+	MSHRFullCycles uint64
+	Cycles         uint64
+
+	// MSHRMerges counts requests merged into an existing entry;
+	// PrefetchPromotions counts demand misses that merged into an
+	// in-flight prefetch (the classic "late prefetch").
+	MSHRMerges         uint64
+	PrefetchPromotions uint64
+
+	// Leapfrogs counts GhostMinion MSHR leapfrogging events (younger
+	// entry cancelled in favor of an older request).
+	Leapfrogs uint64
+
+	// RQFull / WQFull / PQFull count enqueue rejections (back-pressure).
+	RQFull, WQFull, PQFull uint64
+
+	// Evictions and WritebacksOut count lines leaving this level;
+	// PropagationsOut counts GhostMinion clean-propagation writebacks
+	// (the traffic SUF trims).
+	Evictions       uint64
+	WritebacksOut   uint64
+	PropagationsOut uint64
+
+	// Prefetch effectiveness at this level.
+	PrefIssued   uint64 // prefetch requests accepted into the PQ
+	PrefFilled   uint64 // prefetch fills that installed a line
+	PrefUseful   uint64 // prefetched lines later hit by demand
+	PrefLate     uint64 // demand merged with in-flight prefetch
+	PrefDroppedQ uint64 // dropped: PQ or MSHR full
+	PrefHitLocal uint64 // prefetch dropped: line already present
+}
+
+// DemandAccesses sums load and RFO accesses.
+func (s *CacheStats) DemandAccesses() uint64 {
+	return s.Accesses[mem.KindLoad] + s.Accesses[mem.KindRFO]
+}
+
+// DemandMisses sums load and RFO misses.
+func (s *CacheStats) DemandMisses() uint64 {
+	return s.Misses[mem.KindLoad] + s.Misses[mem.KindRFO]
+}
+
+// TotalAccesses sums all access kinds plus speculative probes.
+func (s *CacheStats) TotalAccesses() uint64 {
+	var t uint64
+	for _, a := range s.Accesses {
+		t += a
+	}
+	return t + s.SpecAccesses
+}
+
+// AvgDemandMissLat returns the mean demand-load miss latency in cycles.
+func (s *CacheStats) AvgDemandMissLat() float64 {
+	if s.DemandMissLatCnt == 0 {
+		return 0
+	}
+	return float64(s.DemandMissLatSum) / float64(s.DemandMissLatCnt)
+}
+
+// AvgMSHROccupancy returns mean occupied MSHR entries per cycle.
+func (s *CacheStats) AvgMSHROccupancy() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.MSHROccupancy) / float64(s.Cycles)
+}
+
+// MSHRFullFrac returns the fraction of cycles the MSHR was full.
+func (s *CacheStats) MSHRFullFrac() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.MSHRFullCycles) / float64(s.Cycles)
+}
+
+// PrefAccuracy returns useful/filled prefetch ratio in [0,1].
+func (s *CacheStats) PrefAccuracy() float64 {
+	if s.PrefFilled == 0 {
+		return 0
+	}
+	return float64(s.PrefUseful) / float64(s.PrefFilled)
+}
+
+// DRAMStats collects main-memory counters.
+type DRAMStats struct {
+	Reads, Writes       uint64
+	RowHits, RowMisses  uint64
+	QueueOccupancy      uint64 // integrated over cycles
+	Cycles              uint64
+	LatencySum, LatCnt  uint64 // read round-trip
+	QueueFullRejections uint64
+}
+
+// CoreStats collects per-core counters.
+type CoreStats struct {
+	Instructions uint64
+	Cycles       uint64
+	Loads        uint64
+	Stores       uint64
+	Branches     uint64
+	Mispredicts  uint64
+
+	// Commits of loads by the hit level recorded at fill (SUF input).
+	CommitHitLevel [int(mem.LvlDRAM) + 1]uint64
+
+	// GhostMinion commit-path outcomes.
+	CommitGMHits   uint64 // on-commit write path
+	CommitGMMisses uint64 // re-fetch path
+	SUFDrops       uint64 // updates filtered by SUF
+	SUFDropWrong   uint64 // drops where the line was no longer in L1D
+
+	// LQFullCycles counts dispatch stalls due to a full load queue.
+	LQFullCycles uint64
+}
+
+// IPC returns retired instructions per cycle.
+func (s *CoreStats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// MispredictRate returns branch mispredictions per branch.
+func (s *CoreStats) MispredictRate() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.Branches)
+}
+
+// SUFAccuracy returns the fraction of SUF filtering decisions that were
+// correct (the line was still present where the hit level said).
+func (s *CoreStats) SUFAccuracy() float64 {
+	if s.SUFDrops == 0 {
+		return 1
+	}
+	return 1 - float64(s.SUFDropWrong)/float64(s.SUFDrops)
+}
+
+// TLBStats counts translation outcomes.
+type TLBStats struct {
+	Accesses   uint64
+	L1Misses   uint64
+	STLBMisses uint64 // page-table walks
+}
+
+// L1MissRate returns dTLB misses per access.
+func (s *TLBStats) L1MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.L1Misses) / float64(s.Accesses)
+}
+
+// WalkRate returns page-table walks per access.
+func (s *TLBStats) WalkRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.STLBMisses) / float64(s.Accesses)
+}
+
+// MissClass is the Fig. 6 demand-miss classification at the prefetcher's
+// home level.
+type MissClass struct {
+	Uncovered   uint64 // no prefetch involvement
+	MissedOpp   uint64 // on-access shadow predicted it; on-commit training never would
+	Late        uint64 // merged with in-flight prefetch
+	CommitLate  uint64 // on-commit prefetcher knew it but had not triggered yet
+	TotalMisses uint64
+}
+
+// PerKI scales a raw count to per-kilo-instruction.
+func PerKI(count, instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(count) * 1000 / float64(instructions)
+}

@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"testing"
+
+	"secpref/internal/mem"
+)
+
+func TestCacheDerivedMetrics(t *testing.T) {
+	var s CacheStats
+	s.Accesses[mem.KindLoad] = 80
+	s.Accesses[mem.KindRFO] = 20
+	s.Misses[mem.KindLoad] = 8
+	s.Misses[mem.KindRFO] = 2
+	if s.DemandAccesses() != 100 || s.DemandMisses() != 10 {
+		t.Errorf("demand: %d/%d", s.DemandAccesses(), s.DemandMisses())
+	}
+	s.SpecAccesses = 50
+	if s.TotalAccesses() != 150 {
+		t.Errorf("total = %d", s.TotalAccesses())
+	}
+	s.DemandMissLatSum, s.DemandMissLatCnt = 1000, 10
+	if s.AvgDemandMissLat() != 100 {
+		t.Errorf("avg lat = %f", s.AvgDemandMissLat())
+	}
+	s.Cycles = 100
+	s.MSHROccupancy = 250
+	s.MSHRFullCycles = 25
+	if s.AvgMSHROccupancy() != 2.5 || s.MSHRFullFrac() != 0.25 {
+		t.Errorf("mshr: %f/%f", s.AvgMSHROccupancy(), s.MSHRFullFrac())
+	}
+	s.PrefFilled, s.PrefUseful = 10, 9
+	if s.PrefAccuracy() != 0.9 {
+		t.Errorf("accuracy = %f", s.PrefAccuracy())
+	}
+}
+
+func TestZeroDivisionSafety(t *testing.T) {
+	var s CacheStats
+	if s.AvgDemandMissLat() != 0 || s.AvgMSHROccupancy() != 0 || s.MSHRFullFrac() != 0 || s.PrefAccuracy() != 0 {
+		t.Error("zero-value stats should yield zero metrics")
+	}
+	var c CoreStats
+	if c.IPC() != 0 || c.MispredictRate() != 0 {
+		t.Error("zero-value core stats should yield zero metrics")
+	}
+	if c.SUFAccuracy() != 1 {
+		t.Error("SUF accuracy with no drops should be perfect")
+	}
+}
+
+func TestCoreMetrics(t *testing.T) {
+	c := CoreStats{Instructions: 400, Cycles: 200, Branches: 100, Mispredicts: 5}
+	if c.IPC() != 2 {
+		t.Errorf("IPC = %f", c.IPC())
+	}
+	if c.MispredictRate() != 0.05 {
+		t.Errorf("mispredict rate = %f", c.MispredictRate())
+	}
+	c.SUFDrops, c.SUFDropWrong = 100, 3
+	if c.SUFAccuracy() != 0.97 {
+		t.Errorf("SUF accuracy = %f", c.SUFAccuracy())
+	}
+}
+
+func TestPerKI(t *testing.T) {
+	if PerKI(50, 1000) != 50 {
+		t.Errorf("PerKI(50,1000) = %f", PerKI(50, 1000))
+	}
+	if PerKI(1, 0) != 0 {
+		t.Error("PerKI must guard division by zero")
+	}
+}

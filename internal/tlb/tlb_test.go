@@ -1,0 +1,78 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"secpref/internal/mem"
+)
+
+func TestLatencyTiers(t *testing.T) {
+	h := New(DefaultConfig())
+	addr := mem.Addr(0x1234_5678)
+	walk := h.Translate(addr)
+	if walk != 1+8+60 {
+		t.Errorf("cold translation = %d, want full walk 69", walk)
+	}
+	hit := h.Translate(addr)
+	if hit != 1 {
+		t.Errorf("dTLB hit = %d, want 1", hit)
+	}
+	// Evict from the 64-entry dTLB but not the 1536-entry STLB by
+	// touching 256 distinct pages.
+	for i := 0; i < 256; i++ {
+		h.Translate(mem.Addr(0x9000_0000) + mem.Addr(i)<<PageBits)
+	}
+	stlb := h.Translate(addr)
+	if stlb != 1+8 {
+		t.Errorf("STLB hit = %d, want 9", stlb)
+	}
+}
+
+func TestSamePageSameTranslation(t *testing.T) {
+	f := func(raw uint64, off uint16) bool {
+		h := New(DefaultConfig())
+		a := mem.Addr(raw)
+		b := mem.Addr(uint64(a)&^uint64(1<<PageBits-1)) + mem.Addr(off)%(1<<PageBits)
+		h.Translate(a)
+		return h.Translate(b) == 1 // same page: guaranteed dTLB hit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	h := New(DefaultConfig())
+	h.Translate(0x1000)
+	h.Translate(0x1000)
+	h.Translate(0x2000)
+	if h.Stats.Accesses != 3 || h.Stats.L1Misses != 2 || h.Stats.STLBMisses != 2 {
+		t.Errorf("stats %+v", h.Stats)
+	}
+	if h.Stats.WalkRate() <= 0 || h.Stats.L1MissRate() <= 0 {
+		t.Error("rates should be positive")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	h := New(DefaultConfig())
+	h.Translate(0x5000)
+	h.Flush()
+	if h.Translate(0x5000) == 1 {
+		t.Error("translation survived Flush")
+	}
+}
+
+func TestLocalityReducesWalks(t *testing.T) {
+	h := New(DefaultConfig())
+	// A 32-page working set revisited: after the first sweep, no walks.
+	for sweep := 0; sweep < 4; sweep++ {
+		for p := 0; p < 32; p++ {
+			h.Translate(mem.Addr(p) << PageBits)
+		}
+	}
+	if h.Stats.STLBMisses != 32 {
+		t.Errorf("%d walks for a 32-page resident set", h.Stats.STLBMisses)
+	}
+}

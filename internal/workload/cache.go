@@ -1,0 +1,50 @@
+package workload
+
+import (
+	"sync"
+
+	"secpref/internal/trace"
+)
+
+// The experiment harness simulates every trace under many
+// configurations (secure/non-secure × prefetcher × mode), so generated
+// traces are memoized by (name, params).
+
+type cacheKey struct {
+	name string
+	p    Params
+}
+
+var (
+	traceMu    sync.Mutex
+	traceCache = map[cacheKey]*trace.Trace{}
+)
+
+// Get returns the (memoized) trace for a registered generator name.
+func Get(name string, p Params) (*trace.Trace, error) {
+	key := cacheKey{name, p}
+	traceMu.Lock()
+	if t, ok := traceCache[key]; ok {
+		traceMu.Unlock()
+		return t, nil
+	}
+	traceMu.Unlock()
+	g, err := ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	// Generate outside the lock: generation can take a while and
+	// callers ask for distinct traces concurrently.
+	t := g.Gen(p)
+	traceMu.Lock()
+	traceCache[key] = t
+	traceMu.Unlock()
+	return t, nil
+}
+
+// Evict clears the trace cache (tests use it to bound memory).
+func Evict() {
+	traceMu.Lock()
+	traceCache = map[cacheKey]*trace.Trace{}
+	traceMu.Unlock()
+}

@@ -1,0 +1,296 @@
+package workload
+
+import (
+	"secpref/internal/mem"
+	"secpref/internal/trace"
+)
+
+// GAP kernel trace generators. Unlike the SPEC-like generators, these
+// run the actual graph algorithms (BFS, SSSP, CC, PageRank, BC) over a
+// synthetic skewed graph and emit the address stream the algorithm's
+// data structures produce: sequential offset/neighbor-array streaming
+// interleaved with data-dependent vertex-property accesses. This
+// reproduces GAP's signature behaviour — a prefetchable edge stream
+// feeding an unprefetchable gather — including the long fetch latencies
+// behind TSB's average 10.8% win on bfs.
+
+// gapEmitter wraps emitter with the CSR address layout.
+type gapEmitter struct {
+	*emitter
+	g *Graph
+
+	// Static call-site IPs, allocated once per kernel.
+	ipOff, ipNeigh, ipData, ipData2, ipStoreData, ipStoreQ mem.Addr
+	ipLoadQ, ipExec, ipBrVisit, ipBrEdge, ipBrVert         mem.Addr
+}
+
+// Address layout (one region per array, as GAP allocates):
+//
+//	region 0: Offsets   (4 B / vertex)
+//	region 1: Neighbors (4 B / edge)
+//	region 2: primary vertex property (dist / comp / rank) (8 B / vertex)
+//	region 3: secondary vertex property (parent / next rank / sigma)
+//	region 4: worklist / frontier queue (4 B / slot)
+func newGapEmitter(name string, p Params, g *Graph) *gapEmitter {
+	ge := &gapEmitter{emitter: newEmitter(name, p), g: g}
+	ge.ipOff = ge.ip()
+	ge.ipNeigh = ge.ip()
+	ge.ipData = ge.ip()
+	ge.ipData2 = ge.ip()
+	ge.ipStoreData = ge.ip()
+	ge.ipStoreQ = ge.ip()
+	ge.ipLoadQ = ge.ip()
+	ge.ipExec = ge.ip()
+	ge.ipBrVisit = ge.ip()
+	ge.ipBrEdge = ge.ip()
+	ge.ipBrVert = ge.ip()
+	return ge
+}
+
+func (ge *gapEmitter) offAddr(u int32) mem.Addr   { return region(0) + mem.Addr(u)*4 }
+func (ge *gapEmitter) neighAddr(i int32) mem.Addr { return region(1) + mem.Addr(i)*4 }
+func (ge *gapEmitter) dataAddr(v int32) mem.Addr  { return region(2) + mem.Addr(v)*8 }
+func (ge *gapEmitter) data2Addr(v int32) mem.Addr { return region(3) + mem.Addr(v)*8 }
+func (ge *gapEmitter) queueAddr(i int) mem.Addr   { return region(4) + mem.Addr(i)*4 }
+
+// visitEdges emits the canonical GAP inner loop for vertex u: load the
+// offset pair, stream the neighbor list, and for each neighbor load its
+// property (data-dependent). visit is called per neighbor and may emit
+// additional instructions; it returns whether a branch-taken event
+// (e.g. relaxation) occurred.
+func (ge *gapEmitter) visitEdges(u int32, visit func(v int32) bool) {
+	ge.load(ge.ipOff, ge.offAddr(u))
+	lo, hi := ge.g.Offsets[u], ge.g.Offsets[u+1]
+	for i := lo; i < hi && !ge.full(); i++ {
+		if i == lo {
+			// First neighbor load depends on the offset load.
+			ge.depLoad(ge.ipNeigh, ge.neighAddr(i))
+		} else {
+			ge.load(ge.ipNeigh, ge.neighAddr(i))
+		}
+		v := ge.g.Neighbors[i]
+		// The property load's address comes from the neighbor value.
+		ge.depLoad(ge.ipData, ge.dataAddr(v))
+		taken := visit(v)
+		ge.branch(ge.ipBrVisit, taken)
+		ge.exec(ge.ipExec, 1)
+		ge.branch(ge.ipBrEdge, i+1 < hi)
+	}
+}
+
+func gapGraphFor(variant int64, scale float64) graphCfg {
+	// ~one million vertices scaled; vertex-property arrays exceed the
+	// 2 MiB LLC so the gather misses all levels, as in GAP.
+	n := int(600_000 * scale)
+	return graphCfg{n: n, deg: 12, seed: 42 + variant}
+}
+
+// genBFS emits top-down breadth-first search from rotating sources.
+func genBFS(name string, variant int64) func(Params) *trace.Trace {
+	return func(p Params) *trace.Trace {
+		g := getGraph(gapGraphFor(variant, 1))
+		ge := newGapEmitter(name, p, g)
+		parent := make([]int32, g.N)
+		src := int32(variant * 17 % int64(g.N))
+		for !ge.full() {
+			for i := range parent {
+				parent[i] = -1
+			}
+			parent[src] = src
+			queue := []int32{src}
+			for len(queue) > 0 && !ge.full() {
+				u := queue[0]
+				queue = queue[1:]
+				ge.load(ge.ipLoadQ, ge.queueAddr(len(queue)))
+				ge.visitEdges(u, func(v int32) bool {
+					if parent[v] < 0 {
+						parent[v] = u
+						queue = append(queue, v)
+						ge.store(ge.ipStoreData, ge.dataAddr(v))
+						ge.store(ge.ipStoreQ, ge.queueAddr(len(queue)))
+						return true
+					}
+					return false
+				})
+			}
+			src = (src + 7919) % int32(g.N)
+		}
+		return ge.done()
+	}
+}
+
+// genSSSP emits Bellman-Ford-style single-source shortest paths
+// (GAP's delta-stepping has the same per-edge access skeleton).
+func genSSSP(name string, variant int64) func(Params) *trace.Trace {
+	return func(p Params) *trace.Trace {
+		g := getGraph(gapGraphFor(variant, 1))
+		ge := newGapEmitter(name, p, g)
+		const inf = int32(1 << 30)
+		dist := make([]int32, g.N)
+		src := int32(variant * 131 % int64(g.N))
+		for !ge.full() {
+			for i := range dist {
+				dist[i] = inf
+			}
+			dist[src] = 0
+			frontier := []int32{src}
+			for len(frontier) > 0 && !ge.full() {
+				var next []int32
+				for _, u := range frontier {
+					if ge.full() {
+						break
+					}
+					ge.load(ge.ipLoadQ, ge.queueAddr(len(next)))
+					du := dist[u]
+					ge.visitEdges(u, func(v int32) bool {
+						// Weight derived from ids keeps generation
+						// deterministic without a weight array load.
+						w := (u^v)%16 + 1
+						if du+w < dist[v] {
+							dist[v] = du + w
+							next = append(next, v)
+							ge.store(ge.ipStoreData, ge.dataAddr(v))
+							ge.store(ge.ipStoreQ, ge.queueAddr(len(next)))
+							return true
+						}
+						return false
+					})
+				}
+				frontier = next
+			}
+			src = (src + 104729) % int32(g.N)
+		}
+		return ge.done()
+	}
+}
+
+// genCC emits label-propagation connected components: full-graph sweeps
+// (sequential offset stream) with random comp[] gathers and stores.
+func genCC(name string, variant int64) func(Params) *trace.Trace {
+	return func(p Params) *trace.Trace {
+		g := getGraph(gapGraphFor(variant, 1))
+		ge := newGapEmitter(name, p, g)
+		comp := make([]int32, g.N)
+		for i := range comp {
+			comp[i] = int32(i)
+		}
+		for !ge.full() {
+			changed := false
+			for u := int32(0); int(u) < g.N && !ge.full(); u++ {
+				// comp[u] is a sequential read.
+				ge.load(ge.ipData2, ge.data2Addr(u))
+				cu := comp[u]
+				ge.visitEdges(u, func(v int32) bool {
+					if comp[v] < cu {
+						cu = comp[v]
+						return true
+					}
+					return false
+				})
+				if cu != comp[u] {
+					comp[u] = cu
+					changed = true
+					ge.store(ge.ipStoreData, ge.data2Addr(u))
+				}
+				ge.branch(ge.ipBrVert, int(u+1) < g.N)
+			}
+			if !changed {
+				break
+			}
+		}
+		return ge.done()
+	}
+}
+
+// genPR emits PageRank power iterations: the pull direction — for each
+// vertex, gather ranks of in-neighbors (approximated by out-neighbors
+// on our symmetric-ish graph), store the new rank sequentially.
+func genPR(name string, variant int64) func(Params) *trace.Trace {
+	return func(p Params) *trace.Trace {
+		g := getGraph(gapGraphFor(variant, 1))
+		ge := newGapEmitter(name, p, g)
+		for !ge.full() {
+			for u := int32(0); int(u) < g.N && !ge.full(); u++ {
+				ge.visitEdges(u, func(v int32) bool { return false })
+				// New rank store is sequential (prefetch-friendly).
+				ge.store(ge.ipStoreData, ge.data2Addr(u))
+				ge.exec(ge.ipExec, 2)
+				ge.branch(ge.ipBrVert, int(u+1) < g.N)
+			}
+		}
+		return ge.done()
+	}
+}
+
+// genBC emits Brandes betweenness centrality: a BFS forward pass that
+// also writes sigma counts, then a dependency-accumulation backward
+// pass over the visit order.
+func genBC(name string, variant int64) func(Params) *trace.Trace {
+	return func(p Params) *trace.Trace {
+		g := getGraph(gapGraphFor(variant, 1))
+		ge := newGapEmitter(name, p, g)
+		depth := make([]int32, g.N)
+		src := int32(variant * 911 % int64(g.N))
+		for !ge.full() {
+			for i := range depth {
+				depth[i] = -1
+			}
+			depth[src] = 0
+			queue := []int32{src}
+			order := []int32{src}
+			for len(queue) > 0 && !ge.full() {
+				u := queue[0]
+				queue = queue[1:]
+				ge.load(ge.ipLoadQ, ge.queueAddr(len(queue)))
+				ge.visitEdges(u, func(v int32) bool {
+					if depth[v] < 0 {
+						depth[v] = depth[u] + 1
+						queue = append(queue, v)
+						order = append(order, v)
+						ge.store(ge.ipStoreData, ge.data2Addr(v)) // sigma
+						ge.store(ge.ipStoreQ, ge.queueAddr(len(queue)))
+						return true
+					}
+					return false
+				})
+			}
+			// Backward pass: reverse visit order, gather successors.
+			for i := len(order) - 1; i >= 0 && !ge.full(); i-- {
+				u := order[i]
+				ge.load(ge.ipData2, ge.data2Addr(u))
+				ge.visitEdges(u, func(v int32) bool { return depth[v] == depth[u]+1 })
+				ge.store(ge.ipStoreData, ge.data2Addr(u))
+			}
+			src = (src + 6151) % int32(g.N)
+		}
+		return ge.done()
+	}
+}
+
+// The 20 GAP traces of the paper's evaluation (4 inputs per kernel,
+// matching the published ChampSim GAP trace set).
+func init() {
+	regGap := func(name string, gen func(Params) *trace.Trace) {
+		register(Generator{Name: name, Suite: "gap", Gen: gen})
+	}
+	regGap("bfs-3B", genBFS("bfs-3B", 3))
+	regGap("bfs-8B", genBFS("bfs-8B", 8))
+	regGap("bfs-10B", genBFS("bfs-10B", 10))
+	regGap("bfs-14B", genBFS("bfs-14B", 14))
+	regGap("sssp-3B", genSSSP("sssp-3B", 3))
+	regGap("sssp-5B", genSSSP("sssp-5B", 5))
+	regGap("sssp-10B", genSSSP("sssp-10B", 10))
+	regGap("sssp-14B", genSSSP("sssp-14B", 14))
+	regGap("cc-5B", genCC("cc-5B", 5))
+	regGap("cc-6B", genCC("cc-6B", 6))
+	regGap("cc-13B", genCC("cc-13B", 13))
+	regGap("cc-14B", genCC("cc-14B", 14))
+	regGap("pr-3B", genPR("pr-3B", 3))
+	regGap("pr-5B", genPR("pr-5B", 5))
+	regGap("pr-10B", genPR("pr-10B", 10))
+	regGap("pr-14B", genPR("pr-14B", 14))
+	regGap("bc-0B", genBC("bc-0B", 0))
+	regGap("bc-3B", genBC("bc-3B", 3))
+	regGap("bc-5B", genBC("bc-5B", 5))
+	regGap("bc-12B", genBC("bc-12B", 12))
+}

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Graph is a directed graph in CSR (compressed sparse row) form, the
+// representation the GAP benchmark suite uses. Offsets has n+1 entries;
+// the neighbors of vertex u are Neighbors[Offsets[u]:Offsets[u+1]].
+type Graph struct {
+	N         int
+	Offsets   []int32
+	Neighbors []int32
+}
+
+// Degree returns the out-degree of u.
+func (g *Graph) Degree(u int32) int {
+	return int(g.Offsets[u+1] - g.Offsets[u])
+}
+
+// Neigh returns the neighbor slice of u (shared storage; do not mutate).
+func (g *Graph) Neigh(u int32) []int32 {
+	return g.Neighbors[g.Offsets[u]:g.Offsets[u+1]]
+}
+
+// graphCfg identifies a synthetic graph.
+type graphCfg struct {
+	n    int
+	deg  int
+	seed int64
+}
+
+// NewSkewedGraph builds a graph with n vertices and ~n*deg edges whose
+// degree distribution is power-law-skewed (Kronecker/RMAT-like), the
+// character of the GAP input graphs. Endpoint choice squares a uniform
+// variate so low-numbered vertices act as hubs. Neighbor lists are
+// sorted and deduplicated, as GAP's builder produces.
+func NewSkewedGraph(n, deg int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	adj := make([][]int32, n)
+	edges := n * deg
+	for i := 0; i < edges; i++ {
+		u := int32(rng.Intn(n))
+		// Skewed target: squaring biases toward 0, creating hubs.
+		f := rng.Float64()
+		v := int32(f * f * float64(n))
+		if v >= int32(n) {
+			v = int32(n - 1)
+		}
+		if u == v {
+			continue
+		}
+		adj[u] = append(adj[u], v)
+	}
+	g := &Graph{N: n, Offsets: make([]int32, n+1)}
+	total := 0
+	for u := range adj {
+		ns := adj[u]
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		// Deduplicate in place.
+		w := 0
+		for i, v := range ns {
+			if i == 0 || v != ns[i-1] {
+				ns[w] = v
+				w++
+			}
+		}
+		adj[u] = ns[:w]
+		total += w
+	}
+	g.Neighbors = make([]int32, 0, total)
+	for u := range adj {
+		g.Offsets[u] = int32(len(g.Neighbors))
+		g.Neighbors = append(g.Neighbors, adj[u]...)
+	}
+	g.Offsets[n] = int32(len(g.Neighbors))
+	return g
+}
+
+// Graph construction is the most expensive part of GAP trace
+// generation, and the experiment harness generates each trace under
+// many configurations, so graphs are memoized.
+var (
+	graphMu    sync.Mutex
+	graphCache = map[graphCfg]*Graph{}
+)
+
+func getGraph(cfg graphCfg) *Graph {
+	graphMu.Lock()
+	defer graphMu.Unlock()
+	if g, ok := graphCache[cfg]; ok {
+		return g
+	}
+	g := NewSkewedGraph(cfg.n, cfg.deg, cfg.seed)
+	graphCache[cfg] = g
+	return g
+}
