@@ -1,0 +1,162 @@
+// Command bench measures the simulator's hot-path throughput and emits
+// (or checks) a machine-readable baseline, so performance regressions
+// fail loudly instead of rotting silently.
+//
+// The scenario mirrors BenchmarkSimulatorThroughput: the full secure
+// single-core system (GhostMinion + TSB + SUF + Berti) over 50k
+// instructions of 602.gcc-1850B — the heaviest configuration the paper
+// evaluates.
+//
+// Usage:
+//
+//	bench                     # print measurement as JSON to stdout
+//	bench -runs 5             # report the best of 5 runs
+//	bench -update FILE        # rewrite FILE's "after" section in place
+//	bench -check FILE -tol 25 # exit 1 if >tol% slower than FILE's "after"
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"secpref/internal/sim"
+	"secpref/internal/trace"
+	"secpref/internal/workload"
+)
+
+// Measurement is one benchmark observation.
+type Measurement struct {
+	Date         string  `json:"date,omitempty"`
+	GoVersion    string  `json:"go_version,omitempty"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	InstrsPerSec float64 `json:"instrs_per_sec"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+}
+
+// Baseline is the checked-in before/after record (BENCH_baseline.json).
+type Baseline struct {
+	Benchmark string      `json:"benchmark"`
+	Scenario  string      `json:"scenario"`
+	Before    Measurement `json:"before"`
+	After     Measurement `json:"after"`
+	Speedup   float64     `json:"speedup"`
+}
+
+const scenario = "602.gcc-1850B, 50k instrs, secure GhostMinion + TSB + SUF + Berti"
+
+func measureOnce() (Measurement, error) {
+	tr, err := workload.Get("602.gcc-1850B", workload.Params{Instrs: 50_000, Seed: 1})
+	if err != nil {
+		return Measurement{}, err
+	}
+	cfg := sim.DefaultConfig()
+	cfg.WarmupInstrs = 0
+	cfg.MaxInstrs = 50_000
+	cfg.Secure = true
+	cfg.SUF = true
+	cfg.Prefetcher = "berti"
+	cfg.Mode = sim.ModeTimelySecure
+
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	res, err := sim.Run(cfg, trace.NewSource(tr))
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	if err != nil {
+		return Measurement{}, err
+	}
+	return Measurement{
+		Date:         time.Now().UTC().Format("2006-01-02"),
+		GoVersion:    runtime.Version(),
+		NsPerOp:      float64(elapsed.Nanoseconds()),
+		InstrsPerSec: float64(res.Instructions) / elapsed.Seconds(),
+		AllocsPerOp:  float64(ms1.Mallocs - ms0.Mallocs),
+	}, nil
+}
+
+func measure(runs int) (Measurement, error) {
+	// One untimed warmup run (page cache, branch predictors, heap shape).
+	if _, err := measureOnce(); err != nil {
+		return Measurement{}, err
+	}
+	var best Measurement
+	for i := 0; i < runs; i++ {
+		m, err := measureOnce()
+		if err != nil {
+			return Measurement{}, err
+		}
+		if i == 0 || m.NsPerOp < best.NsPerOp {
+			best = m
+		}
+	}
+	return best, nil
+}
+
+func main() {
+	runs := flag.Int("runs", 3, "measurement runs (best is reported)")
+	update := flag.String("update", "", "baseline file whose 'after' section to rewrite")
+	check := flag.String("check", "", "baseline file to compare against")
+	tol := flag.Float64("tol", 25, "allowed slowdown vs baseline 'after', percent")
+	flag.Parse()
+	if *runs < 1 {
+		fmt.Fprintln(os.Stderr, "bench: -runs must be at least 1")
+		os.Exit(2)
+	}
+
+	m, err := measure(*runs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+
+	switch {
+	case *update != "":
+		var b Baseline
+		if data, err := os.ReadFile(*update); err == nil {
+			if err := json.Unmarshal(data, &b); err != nil {
+				fmt.Fprintf(os.Stderr, "bench: %s: %v\n", *update, err)
+				os.Exit(1)
+			}
+		}
+		b.Benchmark = "SimulatorThroughput"
+		b.Scenario = scenario
+		b.After = m
+		if b.Before.NsPerOp > 0 {
+			b.Speedup = b.Before.NsPerOp / b.After.NsPerOp
+		}
+		out, _ := json.MarshalIndent(&b, "", "  ")
+		if err := os.WriteFile(*update, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("updated %s: %.1f ms/op, %.0f instrs/s, %.0fx vs before\n",
+			*update, m.NsPerOp/1e6, m.InstrsPerSec, b.Speedup)
+	case *check != "":
+		data, err := os.ReadFile(*check)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		var b Baseline
+		if err := json.Unmarshal(data, &b); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %s: %v\n", *check, err)
+			os.Exit(1)
+		}
+		slowdown := (m.NsPerOp/b.After.NsPerOp - 1) * 100
+		fmt.Printf("current: %.1f ms/op (%.0f instrs/s); baseline: %.1f ms/op; slowdown %.1f%% (tolerance %.0f%%)\n",
+			m.NsPerOp/1e6, m.InstrsPerSec, b.After.NsPerOp/1e6, slowdown, *tol)
+		if slowdown > *tol {
+			fmt.Fprintln(os.Stderr, "bench: performance regression beyond tolerance")
+			os.Exit(1)
+		}
+	default:
+		out, _ := json.MarshalIndent(&m, "", "  ")
+		fmt.Println(string(out))
+	}
+}

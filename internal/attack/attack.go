@@ -111,7 +111,7 @@ func (s *System) load(line mem.Line, ip mem.Addr) mem.Cycle {
 		Kind:      mem.KindLoad,
 		Issued:    s.now,
 		Timestamp: s.seq,
-		Done:      func(*mem.Request) { done = true },
+		Owner:     mem.CompleterFunc(func(*mem.Request) { done = true }),
 	}
 	issued := false
 	s.run(func() bool {

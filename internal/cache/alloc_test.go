@@ -1,0 +1,40 @@
+package cache
+
+import (
+	"testing"
+
+	"secpref/internal/mem"
+)
+
+// TestTickZeroAllocSteadyState pins the zero-allocation property of the
+// hot path: once the request pool, queue rings, and latency wheel are
+// warm, a hit-serving Tick must not allocate at all. A regression here
+// (a closure capture, a queue reslice, a fresh Request) shows up as a
+// nonzero allocs-per-op.
+func TestTickZeroAllocSteadyState(t *testing.T) {
+	c := New(tinyConfig(), &mockNext{})
+	line := lineInSet(0, 0)
+
+	// Install the line once, then warm every wheel slot and the pool with
+	// steady hit traffic.
+	c.Enqueue(loadReq(line, nil))
+	now := runTicks(c, 0, 10)
+	if !c.Contains(line) {
+		t.Fatal("warm line not installed")
+	}
+	step := func() {
+		r := c.Pool().Get()
+		r.Line, r.IP, r.Kind = line, 0x400, mem.KindLoad
+		if !c.Enqueue(r) {
+			panic("steady-state enqueue rejected")
+		}
+		now = runTicks(c, now, 4)
+	}
+	for i := 0; i < 300; i++ { // > wheelSize iterations: every slot touched
+		step()
+	}
+
+	if avg := testing.AllocsPerRun(100, step); avg != 0 {
+		t.Errorf("steady-state Cache.Tick allocates %.1f objects/op, want 0", avg)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"secpref/internal/mem"
+	"secpref/internal/ring"
 	"secpref/internal/stats"
 )
 
@@ -115,12 +116,14 @@ type Cache struct {
 	mshr  []mshrEntry
 	inUse int
 
-	rq, wq, pq  []*mem.Request
-	fwdq        []*mem.Request
-	fills       []*fillRecord
+	rq, wq, pq  ring.Buf[*mem.Request]
+	fwdq        ring.Buf[*mem.Request]
+	fills       ring.Buf[fillRecord]
 	wheel       [wheelSize][]*mem.Request
+	wheelCount  int
 	unforwarded []*mshrEntry
 
+	pool *mem.RequestPool
 	next Port
 	now  mem.Cycle
 
@@ -153,7 +156,7 @@ type fillRecord struct {
 // isolated unit tests; misses then complete immediately at a fixed
 // penalty — tests only).
 func New(cfg Config, next Port) *Cache {
-	c := &Cache{cfg: cfg, next: next}
+	c := &Cache{cfg: cfg, next: next, pool: &mem.RequestPool{}}
 	nsets := cfg.Sets()
 	if nsets == 0 || nsets&(nsets-1) != 0 {
 		// Power-of-two set counts keep index math trivial; all Table II
@@ -171,6 +174,14 @@ func New(cfg Config, next Port) *Cache {
 
 // Config returns the level's configuration.
 func (c *Cache) Config() Config { return c.cfg }
+
+// SetPool shares a request pool with the level. Requests flow across
+// levels (a writeback born in L1D retires in DRAM), so a machine wires
+// one pool through its whole hierarchy.
+func (c *Cache) SetPool(p *mem.RequestPool) { c.pool = p }
+
+// Pool returns the level's request pool.
+func (c *Cache) Pool() *mem.RequestPool { return c.pool }
 
 // Level returns the level's position in the hierarchy.
 func (c *Cache) Level() mem.Level { return c.cfg.Level }
@@ -229,24 +240,24 @@ func (c *Cache) victimIn(set []lineState) *lineState {
 func (c *Cache) Enqueue(r *mem.Request) bool {
 	switch r.Kind {
 	case mem.KindWriteback, mem.KindCommitWrite:
-		if len(c.wq) >= c.cfg.WQSize {
+		if c.wq.Len() >= c.cfg.WQSize {
 			c.Stats.WQFull++
 			return false
 		}
-		c.wq = append(c.wq, r)
+		c.wq.Push(r)
 	case mem.KindPrefetch:
-		if len(c.pq) >= c.cfg.PQSize {
+		if c.pq.Len() >= c.cfg.PQSize {
 			c.Stats.PQFull++
 			c.Stats.PrefDroppedQ++
 			return false
 		}
-		c.pq = append(c.pq, r)
+		c.pq.Push(r)
 	default: // loads, RFOs, refetches
-		if len(c.rq) >= c.cfg.RQSize {
+		if c.rq.Len() >= c.cfg.RQSize {
 			c.Stats.RQFull++
 			return false
 		}
-		c.rq = append(c.rq, r)
+		c.rq.Push(r)
 	}
 	return true
 }
@@ -254,8 +265,10 @@ func (c *Cache) Enqueue(r *mem.Request) bool {
 // Prefetch is the prefetcher-facing entry point: it wraps the target in
 // a request and enqueues it, returning false if the PQ is full.
 func (c *Cache) Prefetch(line mem.Line, ip mem.Addr, fillLevel mem.Level, now mem.Cycle) bool {
-	r := &mem.Request{Line: line, IP: ip, Kind: mem.KindPrefetch, FillLevel: fillLevel, Issued: now}
+	r := c.pool.Get()
+	r.Line, r.IP, r.Kind, r.FillLevel, r.Issued = line, ip, mem.KindPrefetch, fillLevel, now
 	if !c.Enqueue(r) {
+		c.pool.Put(r)
 		return false
 	}
 	c.Stats.PrefIssued++
@@ -271,18 +284,24 @@ func (c *Cache) respond(r *mem.Request, servedBy mem.Level) {
 	r.ServedBy = servedBy
 	slot := (uint64(c.now) + uint64(c.cfg.Latency)) % wheelSize
 	c.wheel[slot] = append(c.wheel[slot], r)
+	c.wheelCount++
 }
 
 // Tick advances the cache one cycle.
 func (c *Cache) Tick(now mem.Cycle) {
 	c.now = now
 
-	// 1. Deliver responses whose latency elapsed.
+	// 1. Deliver responses whose latency elapsed. Ownerless requests
+	// (fire-and-forget traffic) terminate here and are recycled.
 	slot := uint64(now) % wheelSize
 	if rs := c.wheel[slot]; len(rs) > 0 {
-		for _, r := range rs {
-			if r.Done != nil {
-				r.Done(r)
+		c.wheelCount -= len(rs)
+		for i, r := range rs {
+			rs[i] = nil
+			if r.Owner != nil {
+				r.Owner.Complete(r)
+			} else {
+				c.pool.Put(r)
 			}
 		}
 		c.wheel[slot] = c.wheel[slot][:0]
@@ -296,11 +315,12 @@ func (c *Cache) Tick(now mem.Cycle) {
 
 	// 2. Apply fills (bounded), oldest first.
 	nf := 0
-	for nf < c.cfg.MaxFills && ports > 0 && len(c.fills) > 0 {
-		if !c.applyFill(c.fills[0]) {
+	for nf < c.cfg.MaxFills && ports > 0 && c.fills.Len() > 0 {
+		fr := c.fills.Front()
+		if !c.applyFill(&fr) {
 			break // victim writeback blocked; retry next cycle
 		}
-		c.fills = c.fills[1:]
+		c.fills.PopFront()
 		nf++
 		ports--
 	}
@@ -319,40 +339,37 @@ func (c *Cache) Tick(now mem.Cycle) {
 		w++
 	}
 	c.unforwarded = c.unforwarded[:w]
-	for len(c.fwdq) > 0 {
-		if c.next == nil || !c.next.Enqueue(c.fwdq[0]) {
+	for c.fwdq.Len() > 0 {
+		if c.next == nil || !c.next.Enqueue(c.fwdq.Front()) {
 			break
 		}
-		c.fwdq = c.fwdq[1:]
+		c.fwdq.PopFront()
 	}
 
 	// 4. Writes.
-	for n := 0; n < c.cfg.MaxWrites && ports > 0 && len(c.wq) > 0; n++ {
-		r := c.wq[0]
-		if !c.handleWrite(r) {
+	for n := 0; n < c.cfg.MaxWrites && ports > 0 && c.wq.Len() > 0; n++ {
+		if !c.handleWrite(c.wq.Front()) {
 			break
 		}
-		c.wq = c.wq[1:]
+		c.wq.PopFront()
 		ports--
 	}
 
 	// 5. Reads.
-	for n := 0; n < c.cfg.MaxReads && ports > 0 && len(c.rq) > 0; n++ {
-		r := c.rq[0]
-		if !c.handleRead(r) {
+	for n := 0; n < c.cfg.MaxReads && ports > 0 && c.rq.Len() > 0; n++ {
+		if !c.handleRead(c.rq.Front()) {
 			break
 		}
-		c.rq = c.rq[1:]
+		c.rq.PopFront()
 		ports--
 	}
 
 	// 6. Prefetches (lowest priority).
-	for n := 0; n < c.cfg.MaxPrefetches && ports > 0 && len(c.pq) > 0; n++ {
-		r := c.pq[0]
-		if !c.handlePrefetch(r) {
+	for n := 0; n < c.cfg.MaxPrefetches && ports > 0 && c.pq.Len() > 0; n++ {
+		if !c.handlePrefetch(c.pq.Front()) {
 			break
 		}
-		c.pq = c.pq[1:]
+		c.pq.PopFront()
 		ports--
 	}
 
@@ -361,6 +378,38 @@ func (c *Cache) Tick(now mem.Cycle) {
 	c.Stats.MSHROccupancy += uint64(c.inUse)
 	if c.inUse == c.cfg.MSHRs {
 		c.Stats.MSHRFullCycles++
+	}
+}
+
+// NextEvent reports the earliest future cycle at which this level has
+// work of its own: pending queue entries next cycle, or the next
+// occupied latency-wheel slot. mem.NoEvent means the level is fully
+// idle (in-flight MSHR children are the next level's work until they
+// return). The idle-skip loop in sim uses this; see docs/performance.md
+// for the legality argument.
+func (c *Cache) NextEvent(now mem.Cycle) mem.Cycle {
+	if c.rq.Len()+c.wq.Len()+c.pq.Len()+c.fwdq.Len()+c.fills.Len()+len(c.unforwarded) > 0 {
+		return now + 1
+	}
+	if c.wheelCount > 0 {
+		for d := uint64(1); d <= wheelSize; d++ {
+			if len(c.wheel[(uint64(now)+d)%wheelSize]) > 0 {
+				return now + mem.Cycle(d)
+			}
+		}
+	}
+	return mem.NoEvent
+}
+
+// SkipIdle integrates the per-cycle occupancy statistics for k skipped
+// idle cycles. During an idle stretch nothing in the level changes, so
+// the integration is exact: identical to calling Tick k times.
+func (c *Cache) SkipIdle(k mem.Cycle) {
+	c.now += k // an empty Tick would advance the clock too
+	c.Stats.Cycles += uint64(k)
+	c.Stats.MSHROccupancy += uint64(c.inUse) * uint64(k)
+	if c.inUse == c.cfg.MSHRs {
+		c.Stats.MSHRFullCycles += uint64(k)
 	}
 }
 
@@ -437,14 +486,15 @@ func (c *Cache) handleSpec(r *mem.Request) bool {
 			return true
 		}
 	}
-	e := c.allocMSHR()
-	if e == nil {
+	idx := c.allocMSHR()
+	if idx < 0 {
 		return false // MSHR full: retry (head-of-line contention)
 	}
 	c.Stats.SpecAccesses++
 	c.Stats.SpecMisses++
 	c.notifySpec(r, nil)
-	c.initMSHR(e, r, mem.KindLoad, r.FillLevel)
+	c.initMSHR(idx, r, mem.KindLoad, r.FillLevel)
+	e := &c.mshr[idx]
 	e.spec = true
 	e.child.SpecBypass = true
 	return true
@@ -475,22 +525,26 @@ func (c *Cache) handleWrite(r *mem.Request) bool {
 		if r.Dirty {
 			ls.dirty = true
 		}
-		if r.Done != nil {
+		if r.Owner != nil {
 			c.respond(r, c.cfg.Level)
+		} else {
+			c.pool.Put(r)
 		}
 		return true
 	}
 	// Write miss: we carry full-line data (writeback or commit write),
 	// so install directly — no fetch — subject to fill bandwidth.
-	fr := &fillRecord{req: r, isWrite: true, dirty: r.Dirty, wbb: r.WBBits}
-	if !c.applyFill(fr) {
+	fr := fillRecord{req: r, isWrite: true, dirty: r.Dirty, wbb: r.WBBits}
+	if !c.applyFill(&fr) {
 		// Victim writeback blocked; retry the WQ head next cycle.
 		return false
 	}
 	c.Stats.Accesses[r.Kind]++
 	c.Stats.Misses[r.Kind]++
-	if r.Done != nil {
+	if r.Owner != nil {
 		c.respond(r, c.cfg.Level)
+	} else {
+		c.pool.Put(r)
 	}
 	return true
 }
@@ -499,11 +553,14 @@ func (c *Cache) handleWrite(r *mem.Request) bool {
 func (c *Cache) handlePrefetch(r *mem.Request) bool {
 	if r.FillLevel > c.cfg.Level {
 		// Destined for a deeper level: pass through (bandwidth only).
-		if len(c.fwdq) >= fwdCap {
+		if c.fwdq.Len() >= fwdCap {
 			return false
 		}
-		if c.next != nil && !c.next.Enqueue(r) {
-			c.fwdq = append(c.fwdq, r)
+		if c.next == nil {
+			// Nowhere to forward: the prefetch terminates here.
+			c.pool.Put(r)
+		} else if !c.next.Enqueue(r) {
+			c.fwdq.Push(r)
 		}
 		return true
 	}
@@ -514,33 +571,39 @@ func (c *Cache) handlePrefetch(r *mem.Request) bool {
 		c.Stats.Accesses[r.Kind]++
 		c.Stats.PrefHitLocal++
 		c.touch(ls)
-		if r.Done != nil {
+		if r.Owner != nil {
 			c.respond(r, c.cfg.Level)
+		} else {
+			c.pool.Put(r)
 		}
 		return true
 	}
+	// missToPrefetch consumes (recycles) an ownerless request on its
+	// merge path, so snapshot the kind for the stat counters below.
+	kind := r.Kind
 	if !c.missToPrefetch(r) {
-		if r.Done != nil {
+		if r.Owner != nil {
 			// An upper level waits on this child: retry rather than
 			// orphan the parent MSHR.
 			return false
 		}
 		// MSHR full: demote the prefetch to the next level rather than
 		// losing it outright — the line still gets closer to the core.
-		if c.next != nil && c.cfg.Level < mem.LvlLLC && len(c.fwdq) < fwdCap {
+		if c.next != nil && c.cfg.Level < mem.LvlLLC && c.fwdq.Len() < fwdCap {
 			r.FillLevel = c.cfg.Level + 1
-			c.Stats.Accesses[r.Kind]++
-			c.Stats.Misses[r.Kind]++
+			c.Stats.Accesses[kind]++
+			c.Stats.Misses[kind]++
 			if !c.next.Enqueue(r) {
-				c.fwdq = append(c.fwdq, r)
+				c.fwdq.Push(r)
 			}
 			return true
 		}
 		c.Stats.PrefDroppedQ++
+		c.pool.Put(r)
 		return true
 	}
-	c.Stats.Accesses[r.Kind]++
-	c.Stats.Misses[r.Kind]++
+	c.Stats.Accesses[kind]++
+	c.Stats.Misses[kind]++
 	return true
 }
 
@@ -565,11 +628,11 @@ func (c *Cache) missTo(r *mem.Request, kind mem.Kind) bool {
 			return true
 		}
 	}
-	e := c.allocMSHR()
-	if e == nil {
+	idx := c.allocMSHR()
+	if idx < 0 {
 		return false
 	}
-	c.initMSHR(e, r, kind, r.FillLevel)
+	c.initMSHR(idx, r, kind, r.FillLevel)
 	return true
 }
 
@@ -587,32 +650,37 @@ func (c *Cache) missToPrefetch(r *mem.Request) bool {
 				e.spec = false
 				e.kind = mem.KindPrefetch
 			}
-			if r.Done != nil {
+			if r.Owner != nil {
 				e.waiters = append(e.waiters, r)
 				c.Stats.MSHRMerges++
+			} else {
+				// A local prefetch needs no completion: consumed here.
+				c.pool.Put(r)
 			}
 			return true
 		}
 	}
-	e := c.allocMSHR()
-	if e == nil {
+	idx := c.allocMSHR()
+	if idx < 0 {
 		return false
 	}
-	c.initMSHR(e, r, mem.KindPrefetch, r.FillLevel)
+	c.initMSHR(idx, r, mem.KindPrefetch, r.FillLevel)
 	return true
 }
 
-func (c *Cache) allocMSHR() *mshrEntry {
+// allocMSHR reserves a free MSHR slot, returning its index or -1.
+func (c *Cache) allocMSHR() int {
 	for i := range c.mshr {
 		if !c.mshr[i].valid {
 			c.inUse++
-			return &c.mshr[i]
+			return i
 		}
 	}
-	return nil
+	return -1
 }
 
-func (c *Cache) initMSHR(e *mshrEntry, r *mem.Request, kind mem.Kind, fillLevel mem.Level) {
+func (c *Cache) initMSHR(idx int, r *mem.Request, kind mem.Kind, fillLevel mem.Level) {
+	e := &c.mshr[idx]
 	*e = mshrEntry{
 		valid:     true,
 		line:      r.Line,
@@ -622,39 +690,46 @@ func (c *Cache) initMSHR(e *mshrEntry, r *mem.Request, kind mem.Kind, fillLevel 
 		fillLevel: fillLevel,
 		timestamp: r.Timestamp,
 	}
-	child := &mem.Request{
-		Line:      r.Line,
-		IP:        r.IP,
-		Kind:      kind,
-		Core:      r.Core,
-		Issued:    c.now,
-		Timestamp: r.Timestamp,
-		FillLevel: fillLevel,
-	}
-	if kind == mem.KindPrefetch {
-		child.Kind = mem.KindPrefetch
-	} else if kind == mem.KindRFO || kind == mem.KindRefetch {
+	child := c.pool.Get()
+	child.Line = r.Line
+	child.IP = r.IP
+	child.Kind = kind
+	child.Core = r.Core
+	child.Issued = c.now
+	child.Timestamp = r.Timestamp
+	child.FillLevel = fillLevel
+	if kind == mem.KindRFO || kind == mem.KindRefetch {
 		// RFOs and refetches look like loads below this level.
 		child.Kind = mem.KindLoad
 	}
-	child.Done = func(cr *mem.Request) {
-		c.fills = append(c.fills, &fillRecord{req: cr, entry: e})
-	}
+	// The child routes its response back to this level's fill queue via
+	// the MSHR index — no captured state.
+	child.Owner = c
+	child.OwnerTag = uint32(idx)
 	e.child = child
 	e.forwarded = c.next != nil && c.next.Enqueue(child)
 	if c.next != nil && !e.forwarded {
 		c.unforwarded = append(c.unforwarded, e)
 	}
 	if c.next == nil {
-		// Isolated level (unit tests): complete after a fixed penalty.
+		// Isolated level (unit tests): complete after a fixed penalty by
+		// scheduling the child itself on the wheel; delivery routes it to
+		// the fill queue through the normal Owner path.
 		const testPenalty = 50
 		slot := (uint64(c.now) + testPenalty) % wheelSize
 		child.ServedBy = c.cfg.Level + 1
-		c.wheel[slot] = append(c.wheel[slot], &mem.Request{
-			Done: func(*mem.Request) { c.fills = append(c.fills, &fillRecord{req: child, entry: e}) },
-		})
+		c.wheel[slot] = append(c.wheel[slot], child)
+		c.wheelCount++
 		e.forwarded = true
 	}
+}
+
+// Complete implements mem.Completer: a child request issued by initMSHR
+// returned from the next level; route it to the fill queue. The MSHR
+// entry index rides in OwnerTag and is stable until the fill completes
+// the entry.
+func (c *Cache) Complete(r *mem.Request) {
+	c.fills.Push(fillRecord{req: r, entry: &c.mshr[r.OwnerTag]})
 }
 
 // applyFill installs a line (from a fill response or a full-line
@@ -665,6 +740,7 @@ func (c *Cache) applyFill(fr *fillRecord) bool {
 		// Speculative-probe response: complete the waiters, install
 		// nothing (invisible speculation — the data lands in the GM).
 		c.completeMSHR(fr.entry, fr.req)
+		c.pool.Put(fr.req)
 		return true
 	}
 	set := c.setOf(fr.req.Line)
@@ -729,6 +805,7 @@ func (c *Cache) applyFill(fr *fillRecord) bool {
 	}
 	if fr.entry != nil {
 		c.completeMSHR(fr.entry, fr.req)
+		c.pool.Put(fr.req)
 	}
 	return true
 }
@@ -741,14 +818,14 @@ func (c *Cache) evict(ls *lineState) bool {
 		return true
 	}
 	if (ls.dirty || ls.propagate) && c.next != nil {
-		wb := &mem.Request{
-			Line:   ls.line,
-			Kind:   mem.KindWriteback,
-			Issued: c.now,
-			Dirty:  ls.dirty,
-			WBBits: ls.wbbRest,
-		}
+		wb := c.pool.Get()
+		wb.Line = ls.line
+		wb.Kind = mem.KindWriteback
+		wb.Issued = c.now
+		wb.Dirty = ls.dirty
+		wb.WBBits = ls.wbbRest
 		if !c.next.Enqueue(wb) {
+			c.pool.Put(wb)
 			return false
 		}
 		c.Stats.WritebacksOut++
@@ -764,10 +841,12 @@ func (c *Cache) evict(ls *lineState) bool {
 	return true
 }
 
-// completeMSHR wakes all waiters of a filled entry.
+// completeMSHR wakes all waiters of a filled entry; ownerless waiters
+// (fire-and-forget prefetches and refetches) are recycled here.
 func (c *Cache) completeMSHR(e *mshrEntry, child *mem.Request) {
 	served := child.ServedBy
-	for _, w := range e.waiters {
+	for i, w := range e.waiters {
+		e.waiters[i] = nil
 		w.ServedBy = served
 		w.FillLat = c.now - w.Issued
 		if w.Kind.IsDemand() || w.Kind == mem.KindRefetch {
@@ -782,11 +861,14 @@ func (c *Cache) completeMSHR(e *mshrEntry, child *mem.Request) {
 				}
 			}
 		}
-		if w.Done != nil {
-			w.Done(w)
+		if w.Owner != nil {
+			w.Owner.Complete(w)
+		} else {
+			c.pool.Put(w)
 		}
 	}
 	e.valid = false
+	e.child = nil
 	e.waiters = e.waiters[:0]
 	c.inUse--
 }

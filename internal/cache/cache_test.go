@@ -8,7 +8,7 @@ import (
 )
 
 // mockNext is a stub lower level that responds to every read
-// immediately (Done fires synchronously) and accepts all writes.
+// immediately (completion fires synchronously) and accepts all writes.
 type mockNext struct {
 	reads      []*mem.Request
 	writes     []*mem.Request
@@ -28,9 +28,7 @@ func (m *mockNext) Enqueue(r *mem.Request) bool {
 		m.reads = append(m.reads, r)
 		if !m.noRespond {
 			r.ServedBy = mem.LvlDRAM
-			if r.Done != nil {
-				r.Done(r)
-			}
+			r.Complete()
 		}
 	}
 	return true
@@ -62,7 +60,7 @@ func runTicks(c *Cache, start mem.Cycle, n int) mem.Cycle {
 func loadReq(l mem.Line, done *bool) *mem.Request {
 	r := &mem.Request{Line: l, IP: 0x400, Kind: mem.KindLoad}
 	if done != nil {
-		r.Done = func(*mem.Request) { *done = true }
+		r.Owner = mem.CompleterFunc(func(*mem.Request) { *done = true })
 	}
 	return r
 }
@@ -135,7 +133,7 @@ func TestMSHRMergeSharesOneFetch(t *testing.T) {
 	// Respond manually: both waiters complete.
 	child := next.reads[0]
 	child.ServedBy = mem.LvlDRAM
-	child.Done(child)
+	child.Complete()
 	runTicks(c, now, 4)
 	if !d1 || !d2 {
 		t.Fatalf("waiters incomplete: %v %v", d1, d2)
@@ -161,7 +159,7 @@ func TestLatePrefetchPromotion(t *testing.T) {
 	}
 	child := next.reads[0]
 	child.ServedBy = mem.LvlDRAM
-	child.Done(child)
+	child.Complete()
 	runTicks(c, now, 4)
 	if !done {
 		t.Fatal("promoted demand never completed")
@@ -218,7 +216,7 @@ func TestSpecMissDoesNotInstall(t *testing.T) {
 	c := New(tinyConfig(), next)
 	done := false
 	probe := &mem.Request{Line: lineInSet(1, 5), Kind: mem.KindLoad, SpecBypass: true,
-		Done: func(*mem.Request) { done = true }}
+		Owner: mem.CompleterFunc(func(*mem.Request) { done = true })}
 	c.Enqueue(probe)
 	runTicks(c, 0, 8)
 	if !done {
@@ -240,17 +238,17 @@ func TestSpecThenDemandUpgradesToInstall(t *testing.T) {
 	c := New(tinyConfig(), next)
 	specDone, demDone := false, false
 	probe := &mem.Request{Line: lineInSet(2, 3), Kind: mem.KindLoad, SpecBypass: true,
-		Done: func(*mem.Request) { specDone = true }}
+		Owner: mem.CompleterFunc(func(*mem.Request) { specDone = true })}
 	c.Enqueue(probe)
 	now := runTicks(c, 0, 3)
 	// A non-speculative refetch for the same line joins the entry.
 	dem := &mem.Request{Line: probe.Line, Kind: mem.KindRefetch,
-		Done: func(*mem.Request) { demDone = true }}
+		Owner: mem.CompleterFunc(func(*mem.Request) { demDone = true })}
 	c.Enqueue(dem)
 	now = runTicks(c, now, 3)
 	child := next.reads[0]
 	child.ServedBy = mem.LvlDRAM
-	child.Done(child)
+	child.Complete()
 	runTicks(c, now, 5)
 	if !specDone || !demDone {
 		t.Fatalf("waiters incomplete: spec=%v dem=%v", specDone, demDone)

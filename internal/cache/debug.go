@@ -5,19 +5,19 @@ import "fmt"
 // Debug accessors expose internal occupancy for diagnostics and tests.
 
 // DebugQueues returns the read queue contents (length only matters).
-func (c *Cache) DebugQueues() []int { return make([]int, len(c.rq)) }
+func (c *Cache) DebugQueues() []int { return make([]int, c.rq.Len()) }
 
 // DebugWQ returns the write queue length.
-func (c *Cache) DebugWQ() int { return len(c.wq) }
+func (c *Cache) DebugWQ() int { return c.wq.Len() }
 
 // DebugPQ returns the prefetch queue length.
-func (c *Cache) DebugPQ() int { return len(c.pq) }
+func (c *Cache) DebugPQ() int { return c.pq.Len() }
 
 // DebugFills returns the pending fill count.
-func (c *Cache) DebugFills() int { return len(c.fills) }
+func (c *Cache) DebugFills() int { return c.fills.Len() }
 
 // DebugFwd returns the pass-through buffer length.
-func (c *Cache) DebugFwd() int { return len(c.fwdq) }
+func (c *Cache) DebugFwd() int { return c.fwdq.Len() }
 
 // DebugMSHR describes every valid MSHR entry.
 func (c *Cache) DebugMSHR() []string {
@@ -34,8 +34,8 @@ func (c *Cache) DebugMSHR() []string {
 
 // DebugFillHead describes the blocked fill at the head, if any.
 func (c *Cache) DebugFillHead() string {
-	if len(c.fills) == 0 {
+	if c.fills.Len() == 0 {
 		return "none"
 	}
-	return c.fills[0].req.String()
+	return c.fills.Front().req.String()
 }

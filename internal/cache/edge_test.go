@@ -16,7 +16,7 @@ func TestHitLatencyExact(t *testing.T) {
 	// next tick and the response cfg.Latency cycles later.
 	var doneAt mem.Cycle
 	r := &mem.Request{Line: lineInSet(0, 0), Kind: mem.KindLoad}
-	r.Done = func(*mem.Request) { doneAt = 1 }
+	r.Owner = mem.CompleterFunc(func(*mem.Request) { doneAt = 1 })
 	c.Enqueue(r)
 	start := now
 	for doneAt == 0 {
@@ -53,7 +53,7 @@ func TestMSHRFullHeadBlocksReads(t *testing.T) {
 	}
 	// Complete one; the blocked read must proceed.
 	next.reads[0].ServedBy = mem.LvlDRAM
-	next.reads[0].Done(next.reads[0])
+	next.reads[0].Complete()
 	runTicks(c, 10, 10)
 	if got := len(next.reads); got != 3 {
 		t.Errorf("blocked read never issued (%d fetches)", got)
@@ -131,7 +131,7 @@ func TestTotalPortsLimitsThroughput(t *testing.T) {
 	var doneTimes []mem.Cycle
 	for i := 0; i < 4; i++ {
 		r := &mem.Request{Line: lineInSet(0, uint64(i%2)), Kind: mem.KindLoad}
-		r.Done = func(*mem.Request) { doneTimes = append(doneTimes, c.now) }
+		r.Owner = mem.CompleterFunc(func(*mem.Request) { doneTimes = append(doneTimes, c.now) })
 		c.Enqueue(r)
 	}
 	runTicks(c, now, 20)

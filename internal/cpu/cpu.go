@@ -14,6 +14,7 @@ package cpu
 import (
 	"secpref/internal/bpred"
 	"secpref/internal/mem"
+	"secpref/internal/ring"
 	"secpref/internal/stats"
 	"secpref/internal/tlb"
 	"secpref/internal/trace"
@@ -53,6 +54,18 @@ func DefaultConfig() Config {
 // cannot be accepted this cycle; the core retries.
 type LoadPort interface {
 	IssueLoad(r *mem.Request) bool
+}
+
+// VersionedPort is an optional LoadPort extension: StateVersion changes
+// whenever port state mutates such that a previously rejected IssueLoad
+// could now succeed. For ports whose rejections are side-effect-free
+// (the GM), the core skips retrying a blocked load until the version
+// changes — the load still issues on exactly the same cycle it would
+// with per-cycle retries. Ports with rejection side effects (the plain
+// L1D adapter counts RQFull per attempt) must not implement this.
+type VersionedPort interface {
+	LoadPort
+	StateVersion() uint64
 }
 
 // StorePort accepts retirement-time stores.
@@ -105,6 +118,11 @@ type robEntry struct {
 	// issues to the memory system no earlier.
 	transReady mem.Cycle
 	translated bool
+	// portBlocked/blockedVer gate issue retries against a VersionedPort:
+	// a load rejected at version v is not retried until the version
+	// moves.
+	portBlocked bool
+	blockedVer  uint64
 }
 
 // Core is the out-of-order core.
@@ -119,9 +137,11 @@ type Core struct {
 
 	lqFree  int
 	nextLQ  int
-	stores  []*mem.Request
+	stores  ring.Buf[*mem.Request]
 	loads   LoadPort
+	verPort VersionedPort // loads, if it reports a state version
 	storeTo StorePort
+	pool    *mem.RequestPool
 
 	now        mem.Cycle
 	seq        uint64
@@ -151,7 +171,7 @@ type Core struct {
 // New builds a core reading from src, issuing loads to loads and
 // retirement stores to storeTo.
 func New(cfg Config, src trace.Source, loads LoadPort, storeTo StorePort) *Core {
-	return &Core{
+	c := &Core{
 		cfg:      cfg,
 		src:      src,
 		pred:     bpred.New(),
@@ -160,12 +180,20 @@ func New(cfg Config, src trace.Source, loads LoadPort, storeTo StorePort) *Core 
 		loads:    loads,
 		storeTo:  storeTo,
 		lastLoad: -1,
+		pool:     &mem.RequestPool{},
 	}
+	if vp, ok := loads.(VersionedPort); ok {
+		c.verPort = vp
+	}
+	return c
 }
+
+// SetPool shares the machine-wide request pool with the core.
+func (c *Core) SetPool(p *mem.RequestPool) { c.pool = p }
 
 // Done reports whether the trace is exhausted and the ROB drained.
 func (c *Core) Done() bool {
-	return c.srcDone && c.count == 0 && len(c.stores) == 0 && c.staged == nil
+	return c.srcDone && c.count == 0 && c.stores.Len() == 0 && c.staged == nil
 }
 
 // Now returns the core's current cycle.
@@ -209,16 +237,16 @@ func (c *Core) retire() {
 			c.lqFree++
 		}
 		if e.in.Store != 0 {
-			if len(c.stores) >= c.cfg.StoreBuffer {
+			if c.stores.Len() >= c.cfg.StoreBuffer {
 				return
 			}
-			c.stores = append(c.stores, &mem.Request{
-				Line:      mem.LineOf(e.in.Store),
-				IP:        e.in.IP,
-				Kind:      mem.KindRFO,
-				Issued:    c.now,
-				Timestamp: e.seq,
-			})
+			sr := c.pool.Get()
+			sr.Line = mem.LineOf(e.in.Store)
+			sr.IP = e.in.IP
+			sr.Kind = mem.KindRFO
+			sr.Issued = c.now
+			sr.Timestamp = e.seq
+			c.stores.Push(sr)
 			c.Stats.Stores++
 		}
 		c.Stats.Instructions++
@@ -230,11 +258,11 @@ func (c *Core) retire() {
 
 // drainStores sends buffered retirement stores to the L1D.
 func (c *Core) drainStores() {
-	for len(c.stores) > 0 {
-		if !c.storeTo.IssueStore(c.stores[0]) {
+	for c.stores.Len() > 0 {
+		if !c.storeTo.IssueStore(c.stores.Front()) {
 			return
 		}
-		c.stores = c.stores[1:]
+		c.stores.PopFront()
 	}
 }
 
@@ -352,37 +380,154 @@ func (c *Core) tryIssue(e *robEntry, idx int) bool {
 	if e.transReady > c.now {
 		return false // translation in flight
 	}
+	if e.portBlocked && c.verPort != nil && c.verPort.StateVersion() == e.blockedVer {
+		// The port rejected this load and nothing that could change the
+		// outcome has happened since; skip the (side-effect-free) retry.
+		return false
+	}
 	if e.req == nil {
-		seq := e.seq
-		myIdx := idx
-		r := &mem.Request{
-			Line:      mem.LineOf(e.in.Load),
-			IP:        e.in.IP,
-			Kind:      mem.KindLoad,
-			Issued:    c.now, // first attempt: port back-pressure counts as access latency
-			Timestamp: seq,
-		}
-		r.Done = func(rr *mem.Request) {
-			ent := &c.rob[myIdx]
-			if ent.seq != seq || !ent.isLoad {
-				return // entry recycled (loads pin entries, so this is defensive)
-			}
-			ent.done = true
-			ent.hitLevel = rr.ServedBy
-			ent.fetchLat = rr.FillLat
-			ent.hitPref = rr.HitPrefetched
-			ent.mergedPref = rr.MergedPrefetch
-		}
+		r := c.pool.Get()
+		r.Line = mem.LineOf(e.in.Load)
+		r.IP = e.in.IP
+		r.Kind = mem.KindLoad
+		r.Issued = c.now // first attempt: port back-pressure counts as access latency
+		r.Timestamp = e.seq
+		// The response routes back via the ROB slot index; seq (carried
+		// in Timestamp) guards against a recycled entry.
+		r.Owner = c
+		r.OwnerTag = uint32(idx)
 		e.req = r
 		e.accessCycle = c.now
 	}
 	if !c.loads.IssueLoad(e.req) {
-		// Port rejected (queue/MSHR full): retry next cycle.
+		// Port rejected (queue/MSHR full): retry when its state moves.
+		if c.verPort != nil {
+			e.portBlocked = true
+			e.blockedVer = c.verPort.StateVersion()
+		}
 		return false
 	}
 	e.issued = true
+	e.portBlocked = false
 	if c.OnIssueLoad != nil {
 		c.OnIssueLoad(e.req.Line, e.req.IP, e.lqID, c.now)
 	}
 	return true
+}
+
+// Complete implements mem.Completer: a load response arrived. The ROB
+// slot rides in OwnerTag; a stale response (entry recycled — loads pin
+// entries, so this is defensive) only recycles the request.
+func (c *Core) Complete(r *mem.Request) {
+	ent := &c.rob[r.OwnerTag]
+	if ent.seq != r.Timestamp || !ent.isLoad || ent.req != r {
+		c.pool.Put(r)
+		return
+	}
+	ent.done = true
+	ent.hitLevel = r.ServedBy
+	ent.fetchLat = r.FillLat
+	ent.hitPref = r.HitPrefetched
+	ent.mergedPref = r.MergedPrefetch
+	ent.req = nil
+	c.pool.Put(r)
+}
+
+// NextEvent reports the earliest future cycle at which the core has
+// work of its own. mem.NoEvent means every remaining step waits on an
+// external completion: the ROB head is an un-returned load, every
+// window-visible pending load is dependence- or port-blocked, and
+// there is nothing to dispatch, drain, or retire. See SkipIdle for the
+// one statistic that still accrues while idle.
+func (c *Core) NextEvent(now mem.Cycle) mem.Cycle {
+	// This probe runs every cycle of the main loop, so the common busy
+	// cases return now+1 immediately — no candidate can beat it.
+	min := now + 1
+	if c.stores.Len() > 0 {
+		return min // store drain retries every cycle
+	}
+	next := mem.NoEvent
+	earliest := func(t mem.Cycle) {
+		if t <= now {
+			t = min
+		}
+		if t < next {
+			next = t
+		}
+	}
+	if c.count > 0 {
+		if h := &c.rob[c.head]; h.done {
+			// Retirement becomes possible once the head's latency
+			// elapses (commit-engine back-pressure resolves via the GM's
+			// own next event).
+			if h.execReady <= now {
+				return min
+			}
+			earliest(h.execReady)
+		}
+	}
+	if c.count < len(c.rob) {
+		if c.staged != nil {
+			if c.lqFree > 0 {
+				if c.stallUntil <= now {
+					return min // staged instruction places
+				}
+				earliest(c.stallUntil)
+			}
+			// LQ-blocked staging only counts LQFullCycles; SkipIdle
+			// integrates that without waking the core.
+		} else if !c.srcDone {
+			if c.stallUntil <= now {
+				return min // dispatch reads the source
+			}
+			earliest(c.stallUntil)
+		}
+	}
+	n := len(c.pendLoads)
+	if n > issueWindow {
+		n = issueWindow
+	}
+	for i := 0; i < n; i++ {
+		e := &c.rob[c.pendLoads[i]]
+		if e.depIdx >= 0 {
+			dep := &c.rob[e.depIdx]
+			if dep.isLoad && dep.seq < e.seq && !dep.retired && !dep.done {
+				continue // waits on the producer load (external)
+			}
+		}
+		if !e.translated {
+			return min // translation must be charged by a Tick
+		}
+		if e.transReady > now {
+			earliest(e.transReady)
+			continue
+		}
+		if e.portBlocked && c.verPort != nil && c.verPort.StateVersion() == e.blockedVer {
+			continue // waits on port state (external)
+		}
+		return min // issuable now
+	}
+	return next
+}
+
+// SkipIdle integrates per-cycle core statistics for k skipped idle
+// cycles following cycle now (exact — see NextEvent): the cycle
+// counter always runs, and an LQ-blocked staged instruction counts an
+// LQFullCycles for every skipped cycle dispatch would have attempted
+// (those at or past stallUntil).
+func (c *Core) SkipIdle(now, k mem.Cycle) {
+	c.now = now + k
+	c.Stats.Cycles += uint64(k)
+	if c.staged != nil && c.lqFree == 0 && c.count < len(c.rob) {
+		attempts := k
+		if c.stallUntil > now+1 {
+			stalled := c.stallUntil - now - 1 // leading cycles below stallUntil
+			if stalled >= k {
+				attempts = 0
+			} else {
+				attempts -= stalled
+			}
+		}
+		c.Stats.LQFullCycles += uint64(attempts)
+	}
 }

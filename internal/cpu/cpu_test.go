@@ -38,9 +38,7 @@ func (p *fixedLatencyPort) step() {
 		if e.at <= p.tick {
 			e.r.ServedBy = mem.LvlL2
 			e.r.FillLat = mem.Cycle(p.lat)
-			if e.r.Done != nil {
-				e.r.Done(e.r)
-			}
+			e.r.Complete()
 		} else {
 			p.pending[w] = e
 			w++

@@ -1,0 +1,43 @@
+package dram
+
+import (
+	"testing"
+
+	"secpref/internal/mem"
+)
+
+// TestTickZeroAllocSteadyState pins the zero-allocation property of the
+// channel's hot path: with the pool, queues, and response list warm,
+// enqueue→schedule→deliver of ownerless traffic must not allocate.
+func TestTickZeroAllocSteadyState(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TRP, cfg.TRCD, cfg.TCAS = 5, 5, 5
+	cfg.BurstCycles = 1
+	d := New(cfg)
+
+	now := mem.Cycle(0)
+	i := 0
+	step := func() {
+		r := d.pool.Get()
+		r.Line = mem.Line(i * 64) // walk banks and rows
+		r.Kind = mem.KindLoad
+		i++
+		if !d.Enqueue(r) {
+			panic("steady-state enqueue rejected")
+		}
+		for j := 0; j < 20; j++ { // enough to issue and deliver
+			now++
+			d.Tick(now)
+		}
+	}
+	for n := 0; n < 100; n++ {
+		step()
+	}
+	if d.Stats.Reads == 0 || d.Stats.LatCnt == 0 {
+		t.Fatal("warmup served no reads")
+	}
+
+	if avg := testing.AllocsPerRun(100, step); avg != 0 {
+		t.Errorf("steady-state DRAM.Tick allocates %.1f objects/op, want 0", avg)
+	}
+}

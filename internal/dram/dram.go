@@ -58,6 +58,7 @@ type DRAM struct {
 	busFreeAt mem.Cycle
 	now       mem.Cycle
 	resp      []pending
+	pool      *mem.RequestPool
 
 	// Stats is the channel's counter block.
 	Stats stats.DRAMStats
@@ -65,8 +66,12 @@ type DRAM struct {
 
 // New builds a channel.
 func New(cfg Config) *DRAM {
-	return &DRAM{cfg: cfg, rows: make([]uint64, cfg.Banks)}
+	return &DRAM{cfg: cfg, rows: make([]uint64, cfg.Banks), pool: &mem.RequestPool{}}
 }
+
+// SetPool shares the machine-wide request pool with the channel; the
+// channel recycles ownerless traffic (writebacks) that terminates here.
+func (d *DRAM) SetPool(p *mem.RequestPool) { d.pool = p }
 
 // Config returns the channel configuration.
 func (d *DRAM) Config() Config { return d.cfg }
@@ -132,7 +137,9 @@ func (d *DRAM) issueOne() bool {
 	}
 	idx := d.pickFRFCFS(*q)
 	entry := (*q)[idx]
+	n := len(*q)
 	*q = append((*q)[:idx], (*q)[idx+1:]...)
+	(*q)[:n][n-1] = queued{} // clear the vacated tail slot
 
 	bank := d.bankOf(entry.req.Line)
 	row := d.rowOf(entry.req.Line) + 1
@@ -152,9 +159,12 @@ func (d *DRAM) issueOne() bool {
 
 	if drainWrites {
 		d.Stats.Writes++
-		// Writes complete silently (no response needed).
-		if entry.req.Done != nil {
-			entry.req.Done(entry.req)
+		// Writes complete silently; ownerless ones terminate (and are
+		// recycled) here.
+		if entry.req.Owner != nil {
+			entry.req.Complete()
+		} else {
+			d.pool.Put(entry.req)
 		}
 		return true
 	}
@@ -203,19 +213,58 @@ func (d *DRAM) schedule(r *mem.Request, ready mem.Cycle) {
 	d.resp = append(d.resp, pending{r, ready})
 }
 
-// Deliver fires the Done callbacks of responses whose time has come.
-// The simulator calls it once per cycle after Tick.
+// Deliver completes responses whose time has come. The simulator calls
+// it once per cycle after Tick.
 func (d *DRAM) Deliver(now mem.Cycle) {
 	w := 0
 	for _, p := range d.resp {
 		if p.ready <= now {
-			if p.req.Done != nil {
-				p.req.Done(p.req)
+			if p.req.Owner != nil {
+				p.req.Complete()
+			} else {
+				d.pool.Put(p.req)
 			}
 		} else {
 			d.resp[w] = p
 			w++
 		}
 	}
+	for i := w; i < len(d.resp); i++ {
+		d.resp[i] = pending{} // clear vacated slots
+	}
 	d.resp = d.resp[:w]
+}
+
+// NextEvent reports the earliest future cycle at which the channel has
+// work: a response becoming ready, or a queued request it can issue
+// once the data bus frees. mem.NoEvent means fully idle.
+func (d *DRAM) NextEvent(now mem.Cycle) mem.Cycle {
+	next := mem.NoEvent
+	for _, p := range d.resp {
+		if p.ready < next {
+			next = p.ready
+		}
+	}
+	if len(d.rq)+len(d.wq) > 0 {
+		issue := now + 1
+		if d.busFreeAt > issue {
+			issue = d.busFreeAt
+		}
+		if issue < next {
+			next = issue
+		}
+	}
+	if next != mem.NoEvent && next <= now {
+		next = now + 1
+	}
+	return next
+}
+
+// SkipIdle integrates per-cycle statistics for k cycles during which
+// the channel provably does nothing (no response ready, no issuable
+// request): identical to calling Tick k times.
+func (d *DRAM) SkipIdle(k mem.Cycle) {
+	d.now += k // keep arrival stamps exact across the skipped window
+	d.Stats.Cycles += uint64(k)
+	d.Stats.QueueOccupancy += uint64(len(d.rq)+len(d.wq)) * uint64(k)
 }

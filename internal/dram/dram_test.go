@@ -17,7 +17,7 @@ func serve(d *DRAM, l mem.Line, start mem.Cycle) (mem.Cycle, mem.Cycle) {
 	done := mem.Cycle(0)
 	r := &mem.Request{Line: l, Kind: mem.KindLoad}
 	now := start
-	r.Done = func(*mem.Request) { done = now }
+	r.Owner = mem.CompleterFunc(func(*mem.Request) { done = now })
 	if !d.Enqueue(r) {
 		panic("enqueue rejected")
 	}
@@ -61,7 +61,7 @@ func TestFRFCFSPrefersOpenRow(t *testing.T) {
 	var order []mem.Line
 	mk := func(l mem.Line) *mem.Request {
 		r := &mem.Request{Line: l, Kind: mem.KindLoad}
-		r.Done = func(rr *mem.Request) { order = append(order, rr.Line) }
+		r.Owner = mem.CompleterFunc(func(rr *mem.Request) { order = append(order, rr.Line) })
 		return r
 	}
 	// Older conflict request, then a younger row-hit request.

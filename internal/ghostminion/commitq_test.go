@@ -52,7 +52,8 @@ func TestCommitWithSUFLevels(t *testing.T) {
 	cs := newCoreStats()
 	// Put a line into the GM via a spec load.
 	done := false
-	r := &mem.Request{Line: 42, Kind: mem.KindLoad, Timestamp: 1, Done: func(*mem.Request) { done = true }}
+	r := &mem.Request{Line: 42, Kind: mem.KindLoad, Timestamp: 1,
+		Owner: mem.CompleterFunc(func(*mem.Request) { done = true })}
 	g.IssueLoad(r)
 	for i := 0; !done && i < 10000; i++ {
 		g.Tick(mem.Cycle(i))
@@ -90,9 +91,7 @@ func (p *recordingPort) Enqueue(r *mem.Request) bool {
 		p.writes = append(p.writes, r)
 	default:
 		r.ServedBy = mem.LvlDRAM
-		if r.Done != nil {
-			r.Done(r)
-		}
+		r.Complete()
 	}
 	return true
 }

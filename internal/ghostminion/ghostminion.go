@@ -19,6 +19,7 @@ package ghostminion
 import (
 	"secpref/internal/cache"
 	"secpref/internal/mem"
+	"secpref/internal/ring"
 	"secpref/internal/stats"
 )
 
@@ -97,13 +98,21 @@ type GM struct {
 	filter Filter
 
 	// retryq holds loads displaced by leapfrogging, awaiting re-issue.
-	retryq []*mem.Request
+	retryq ring.Buf[*mem.Request]
 	// commitq holds commit-time updates awaiting L1D queue space.
-	commitq []*mem.Request
+	commitq ring.Buf[*mem.Request]
 	// pending holds probes rejected by a full L1D read queue.
 	pending []pendingProbe
 	// resp holds responses awaiting the GM hit latency.
 	resp []gmResp
+
+	pool *mem.RequestPool
+	// ver counts state mutations that could turn a rejected IssueLoad
+	// into an accepted one; the core gates issue retries on it.
+	ver uint64
+	// mshrInUse tracks valid MSHR entries so per-cycle occupancy
+	// statistics don't rescan the array.
+	mshrInUse int
 
 	// Stats uses the cache counter block: KindLoad accesses/misses are
 	// speculative GM lookups; demand miss latency is the load-observed
@@ -132,8 +141,20 @@ func New(cfg Config, l1d *cache.Cache, filter Filter) *GM {
 		mshr:   make([]gmMSHR, cfg.MSHRs),
 		l1d:    l1d,
 		filter: filter,
+		pool:   &mem.RequestPool{},
 	}
 }
+
+// SetPool shares the machine-wide request pool with the GM.
+func (g *GM) SetPool(p *mem.RequestPool) { g.pool = p }
+
+// StateVersion counts GM mutations after which a previously rejected
+// IssueLoad could succeed (fills, fetch starts, leapfrogs, squashes).
+// A rejected IssueLoad has no side effects and its outcome is a pure
+// function of GM state, so the core may skip retrying a blocked load
+// until the version changes — provably the same accept cycle as
+// retrying every cycle, at a fraction of the cost.
+func (g *GM) StateVersion() uint64 { return g.ver }
 
 // SetFilter replaces the commit filter (used to toggle SUF).
 func (g *GM) SetFilter(f Filter) { g.filter = f }
@@ -207,15 +228,15 @@ func (g *GM) issueLoad(r *mem.Request, countStats, allowLeapfrog bool) bool {
 			return true
 		}
 	}
-	e := g.allocMSHR(r.Timestamp, allowLeapfrog)
-	if e == nil {
+	idx := g.allocMSHR(r.Timestamp, allowLeapfrog)
+	if idx < 0 {
 		return false // rejected: the core retries; count only accepted attempts
 	}
 	if countStats {
 		g.Stats.Accesses[mem.KindLoad]++
 		g.Stats.Misses[mem.KindLoad]++
 	}
-	g.startFetch(e, r)
+	g.startFetch(idx, r)
 	return true
 }
 
@@ -226,71 +247,89 @@ const leapfrogMaxAge = 16
 
 // allocMSHR finds a free entry, or (when allowed) leapfrogs the
 // youngest recently-started entry that is strictly younger than ts.
-func (g *GM) allocMSHR(ts uint64, allowLeapfrog bool) *gmMSHR {
-	for i := range g.mshr {
-		if !g.mshr[i].valid {
-			return &g.mshr[i]
+// Returns the entry index, or -1.
+func (g *GM) allocMSHR(ts uint64, allowLeapfrog bool) int {
+	if g.mshrInUse < len(g.mshr) {
+		for i := range g.mshr {
+			if !g.mshr[i].valid {
+				return i
+			}
 		}
 	}
 	if !allowLeapfrog {
-		return nil
+		return -1
 	}
 	// Leapfrog: displace the youngest entry if it is younger than the
 	// incoming request (strictness ordering favors older instructions).
-	var victim *gmMSHR
+	victim := -1
 	for i := range g.mshr {
 		e := &g.mshr[i]
 		if e.canceled || g.now-e.alloc > leapfrogMaxAge {
 			continue
 		}
-		if e.timestamp > ts && (victim == nil || e.timestamp > victim.timestamp) {
-			victim = e
+		if e.timestamp > ts && (victim < 0 || e.timestamp > g.mshr[victim].timestamp) {
+			victim = i
 		}
 	}
-	if victim == nil {
-		return nil
+	if victim < 0 {
+		return -1
 	}
 	g.Stats.Leapfrogs++
+	g.ver++
 	// Displaced waiters are re-issued by the GM when capacity frees up;
-	// the in-flight probe's eventual fill is discarded (its Done closure
-	// sees a slot whose line no longer matches).
-	g.retryq = append(g.retryq, victim.waiters...)
-	*victim = gmMSHR{}
+	// the in-flight probe's eventual fill is discarded (the completion
+	// handler sees a slot whose line no longer matches).
+	v := &g.mshr[victim]
+	for i, w := range v.waiters {
+		g.retryq.Push(w)
+		v.waiters[i] = nil
+	}
+	waiters := v.waiters[:0]
+	*v = gmMSHR{}
+	v.waiters = waiters // keep the backing array for reuse
+	g.mshrInUse--
 	return victim
 }
 
-// startFetch initializes e for r and sends the invisible probe to L1D.
-func (g *GM) startFetch(e *gmMSHR, r *mem.Request) {
+// startFetch initializes MSHR slot idx for r and sends the invisible
+// probe to L1D.
+func (g *GM) startFetch(idx int, r *mem.Request) {
+	e := &g.mshr[idx]
 	*e = gmMSHR{
 		valid:     true,
 		line:      r.Line,
 		timestamp: r.Timestamp,
 		alloc:     g.now,
-		waiters:   []*mem.Request{r},
+		waiters:   append(e.waiters[:0], r),
 	}
-	mine := e // capture slot
-	myLine := r.Line
-	probe := &mem.Request{
-		Line:       r.Line,
-		IP:         r.IP,
-		Kind:       mem.KindLoad,
-		Core:       r.Core,
-		Issued:     g.now,
-		Timestamp:  r.Timestamp,
-		SpecBypass: true,
-	}
-	probe.Done = func(pr *mem.Request) {
-		// Stale fills (slot canceled or recycled for another line) are
-		// dropped: the speculative data simply never lands in the GM.
-		if !mine.valid || mine.canceled || mine.line != myLine {
-			return
-		}
-		g.fill(mine, pr)
-	}
+	g.mshrInUse++
+	g.ver++
+	probe := g.pool.Get()
+	probe.Line = r.Line
+	probe.IP = r.IP
+	probe.Kind = mem.KindLoad
+	probe.Core = r.Core
+	probe.Issued = g.now
+	probe.Timestamp = r.Timestamp
+	probe.SpecBypass = true
+	probe.Owner = g
+	probe.OwnerTag = uint32(idx)
 	if !g.l1d.Enqueue(probe) {
 		// L1D read queue full: hold and retry each cycle.
 		g.pending = append(g.pending, pendingProbe{e, probe})
 	}
+}
+
+// Complete implements mem.Completer: the invisible probe for MSHR slot
+// OwnerTag returned from the hierarchy. Stale fills (slot canceled or
+// recycled for another line) are dropped: the speculative data simply
+// never lands in the GM. Either way the probe terminates here.
+func (g *GM) Complete(pr *mem.Request) {
+	e := &g.mshr[pr.OwnerTag]
+	if e.valid && !e.canceled && e.line == pr.Line {
+		g.fill(e, pr)
+	}
+	g.pool.Put(pr)
 }
 
 type pendingProbe struct {
@@ -333,8 +372,13 @@ func (g *GM) fill(e *gmMSHR, pr *mem.Request) {
 		g.Stats.DemandMissLatCnt++
 		g.respond(w)
 	}
+	for i := range e.waiters {
+		e.waiters[i] = nil
+	}
 	e.valid = false
-	e.waiters = nil
+	e.waiters = e.waiters[:0]
+	g.mshrInUse--
+	g.ver++
 }
 
 // insertLine places a line in the GM, evicting the oldest-timestamp
@@ -378,7 +422,7 @@ type gmResp struct {
 
 // CanCommit reports whether the commit engine can accept another
 // update; retirement stalls otherwise.
-func (g *GM) CanCommit() bool { return len(g.commitq) < g.cfg.CommitQueue }
+func (g *GM) CanCommit() bool { return g.commitq.Len() < g.cfg.CommitQueue }
 
 // Commit processes the retirement of a load: it consults the filter and
 // emits the on-commit write (GM hit) or re-fetch (GM miss) into the
@@ -411,25 +455,23 @@ func (g *GM) Commit(line mem.Line, ts uint64, hitLevel mem.Level, cs *stats.Core
 	if gme != nil {
 		cs.CommitGMHits++
 		// On-commit write: transfer GM -> L1D.
-		r := &mem.Request{
-			Line:   line,
-			Kind:   mem.KindCommitWrite,
-			Issued: g.now,
-			WBBits: wbb,
-		}
+		r := g.pool.Get()
+		r.Line = line
+		r.Kind = mem.KindCommitWrite
+		r.Issued = g.now
+		r.WBBits = wbb
 		gme.valid = false
-		g.commitq = append(g.commitq, r)
+		g.commitq.Push(r)
 		return
 	}
 	cs.CommitGMMisses++
 	// Re-fetch into the non-speculative hierarchy.
-	r := &mem.Request{
-		Line:      line,
-		Kind:      mem.KindRefetch,
-		Issued:    g.now,
-		Timestamp: ts,
-	}
-	g.commitq = append(g.commitq, r)
+	r := g.pool.Get()
+	r.Line = line
+	r.Kind = mem.KindRefetch
+	r.Issued = g.now
+	r.Timestamp = ts
+	g.commitq.Push(r)
 }
 
 // Squash discards all speculative state created by instructions with
@@ -448,18 +490,21 @@ func (g *GM) Squash(ts uint64) {
 		if e.valid && e.timestamp >= ts {
 			e.canceled = true
 			e.valid = false
-			e.waiters = nil
+			g.mshrInUse--
+			for j := range e.waiters {
+				e.waiters[j] = nil
+			}
+			e.waiters = e.waiters[:0]
 		}
 	}
 	// Squashed retry entries are dropped as well.
-	w := 0
-	for _, r := range g.retryq {
+	for n := g.retryq.Len(); n > 0; n-- {
+		r := g.retryq.PopFront()
 		if r.Timestamp < ts {
-			g.retryq[w] = r
-			w++
+			g.retryq.Push(r)
 		}
 	}
-	g.retryq = g.retryq[:w]
+	g.ver++
 }
 
 // Tick advances the GM one cycle: deliver responses, retry blocked
@@ -472,13 +517,18 @@ func (g *GM) Tick(now mem.Cycle) {
 	w := 0
 	for _, p := range g.resp {
 		if p.ready <= now {
-			if p.req.Done != nil {
-				p.req.Done(p.req)
+			if p.req.Owner != nil {
+				p.req.Complete()
+			} else {
+				g.pool.Put(p.req)
 			}
 		} else {
 			g.resp[w] = p
 			w++
 		}
+	}
+	for i := w; i < len(g.resp); i++ {
+		g.resp[i] = gmResp{} // clear vacated slots
 	}
 	g.resp = g.resp[:w]
 
@@ -486,6 +536,7 @@ func (g *GM) Tick(now mem.Cycle) {
 	w = 0
 	for _, pp := range g.pending {
 		if !pp.entry.valid || pp.entry.line != pp.probe.Line {
+			g.pool.Put(pp.probe)
 			continue // canceled
 		}
 		if !g.l1d.Enqueue(pp.probe) {
@@ -493,36 +544,63 @@ func (g *GM) Tick(now mem.Cycle) {
 			w++
 		}
 	}
+	for i := w; i < len(g.pending); i++ {
+		g.pending[i] = pendingProbe{}
+	}
 	g.pending = g.pending[:w]
 
 	// Reissue displaced loads (bounded per cycle; no stats, no
 	// leapfrogging — see issueLoad).
-	for n := 0; n < 2 && len(g.retryq) > 0; n++ {
-		r := g.retryq[0]
-		if !g.issueLoad(r, false, false) {
+	for n := 0; n < 2 && g.retryq.Len() > 0; n++ {
+		if !g.issueLoad(g.retryq.Front(), false, false) {
 			break
 		}
-		g.retryq = g.retryq[1:]
+		g.retryq.PopFront()
 	}
 
 	// Drain commit updates.
-	for len(g.commitq) > 0 {
-		if !g.l1d.Enqueue(g.commitq[0]) {
+	for g.commitq.Len() > 0 {
+		if !g.l1d.Enqueue(g.commitq.Front()) {
 			break
 		}
-		g.commitq = g.commitq[1:]
+		g.commitq.PopFront()
 	}
 
 	// Occupancy statistics.
 	g.Stats.Cycles++
-	occ := 0
-	for i := range g.mshr {
-		if g.mshr[i].valid {
-			occ++
+	g.Stats.MSHROccupancy += uint64(g.mshrInUse)
+	if g.mshrInUse == g.cfg.MSHRs {
+		g.Stats.MSHRFullCycles++
+	}
+}
+
+// NextEvent reports the earliest future cycle at which the GM has work
+// of its own: a response maturing, or queued probes/retries/commits to
+// push (retried every cycle). mem.NoEvent means idle — in-flight
+// probes are the hierarchy's work until they return.
+func (g *GM) NextEvent(now mem.Cycle) mem.Cycle {
+	if len(g.pending) > 0 || g.retryq.Len() > 0 || g.commitq.Len() > 0 {
+		return now + 1
+	}
+	next := mem.NoEvent
+	for _, p := range g.resp {
+		if p.ready < next {
+			next = p.ready
 		}
 	}
-	g.Stats.MSHROccupancy += uint64(occ)
-	if occ == g.cfg.MSHRs {
-		g.Stats.MSHRFullCycles++
+	if next != mem.NoEvent && next <= now {
+		next = now + 1
+	}
+	return next
+}
+
+// SkipIdle integrates the per-cycle occupancy statistics for k skipped
+// idle cycles (exact: nothing in the GM changes while idle).
+func (g *GM) SkipIdle(k mem.Cycle) {
+	g.now += k // keep MSHR ages and fill latencies exact across the skip
+	g.Stats.Cycles += uint64(k)
+	g.Stats.MSHROccupancy += uint64(g.mshrInUse) * uint64(k)
+	if g.mshrInUse == g.cfg.MSHRs {
+		g.Stats.MSHRFullCycles += uint64(k)
 	}
 }

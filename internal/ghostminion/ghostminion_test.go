@@ -28,9 +28,7 @@ func (m *memStub) Enqueue(r *mem.Request) bool {
 	default:
 		m.reads++
 		r.ServedBy = mem.LvlDRAM
-		if r.Done != nil {
-			r.Done(r)
-		}
+		r.Complete()
 	}
 	return true
 }
@@ -58,7 +56,7 @@ func (r *rig) specLoad(line mem.Line) (mem.Level, uint64) {
 	seq := r.seq
 	done := false
 	req := &mem.Request{Line: line, Kind: mem.KindLoad, Issued: r.now, Timestamp: seq,
-		Done: func(*mem.Request) { done = true }}
+		Owner: mem.CompleterFunc(func(*mem.Request) { done = true })}
 	for !r.gm.IssueLoad(req) {
 		r.step(1)
 	}
@@ -104,7 +102,7 @@ func TestTimeGuardingHidesYoungerInsertions(t *testing.T) {
 	// An OLDER instruction (smaller timestamp) must not see it.
 	older := &mem.Request{Line: 300, Kind: mem.KindLoad, Issued: r.now, Timestamp: seq - 1}
 	done := false
-	older.Done = func(*mem.Request) { done = true }
+	older.Owner = mem.CompleterFunc(func(*mem.Request) { done = true })
 	reads := r.next.reads
 	for !r.gm.IssueLoad(older) {
 		r.step(1)

@@ -120,6 +120,10 @@ type HitLevel = Level
 // Cycle is a simulation timestamp in core clock cycles.
 type Cycle uint64
 
+// NoEvent is the NextEvent sentinel meaning "nothing scheduled": the
+// component will stay idle until some other component hands it work.
+const NoEvent = ^Cycle(0)
+
 // Request is a memory-system request descriptor. Requests are passed by
 // pointer through the hierarchy; the cache package pools them.
 type Request struct {
@@ -176,9 +180,38 @@ type Request struct {
 	// installed by a prefetch.
 	HitPrefetched bool
 
-	// Done, if non-nil, is invoked exactly once when the request's data
-	// is available at the requesting level.
-	Done func(*Request)
+	// Owner, if non-nil, receives exactly one Complete call when the
+	// request's data is available at the requesting level. OwnerTag
+	// carries the owner's routing context (ROB slot, MSHR index) so the
+	// response needs no captured state — this replaces the per-request
+	// Done closure the hot path used to allocate.
+	Owner    Completer
+	OwnerTag uint32
+
+	// poolState tracks pool membership (see RequestPool); requests
+	// constructed outside a pool are never recycled.
+	poolState uint8
+}
+
+// Completer receives request completions. Implementations use
+// Request.OwnerTag (and Timestamp) to locate their per-request state.
+type Completer interface {
+	Complete(r *Request)
+}
+
+// CompleterFunc adapts a function to Completer (tests and harnesses;
+// the simulator hot path uses concrete component receivers instead).
+type CompleterFunc func(*Request)
+
+// Complete implements Completer.
+func (f CompleterFunc) Complete(r *Request) { f(r) }
+
+// Complete notifies the request's owner, if any, that data is
+// available. It must be invoked exactly once per issue.
+func (r *Request) Complete() {
+	if r.Owner != nil {
+		r.Owner.Complete(r)
+	}
 }
 
 // String returns a compact debug representation.

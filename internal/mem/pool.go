@@ -1,0 +1,56 @@
+package mem
+
+// Request pool states. Foreign requests (constructed with &Request{...}
+// outside a pool, as tests and external harnesses do) are never
+// recycled: Put on them is a no-op, so their fields stay inspectable
+// after completion.
+const (
+	pooledForeign uint8 = iota // not pool-managed
+	pooledLive                 // checked out of a pool
+	pooledFree                 // sitting on a free list
+)
+
+// RequestPool is a free list of Requests. One pool is shared per
+// machine (all cache levels, DRAM, GhostMinion, and the core), because
+// requests flow across components — a writeback born in L1D retires in
+// DRAM — and the component that terminally processes a request is the
+// one that recycles it.
+//
+// Pools are not safe for concurrent use; the experiments runner gives
+// each parallel simulation its own machine and therefore its own pool.
+type RequestPool struct {
+	free []*Request
+
+	// Gets and News count checkouts and fresh allocations; steady state
+	// has News ≪ Gets.
+	Gets uint64
+	News uint64
+}
+
+// Get returns a zeroed Request checked out of the pool.
+func (p *RequestPool) Get() *Request {
+	p.Gets++
+	if n := len(p.free); n > 0 {
+		r := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		r.poolState = pooledLive
+		return r
+	}
+	p.News++
+	return &Request{poolState: pooledLive}
+}
+
+// Put recycles a request obtained from Get. Requests not owned by a
+// pool are ignored; double-Put of a pooled request panics, since it
+// would hand the same request to two owners.
+func (p *RequestPool) Put(r *Request) {
+	switch r.poolState {
+	case pooledForeign:
+		return
+	case pooledFree:
+		panic("mem: RequestPool.Put of already-freed request")
+	}
+	*r = Request{poolState: pooledFree}
+	p.free = append(p.free, r)
+}

@@ -12,6 +12,9 @@ import (
 // TestDebugMulticoreWedge reproduces a wedged 4-core run with state
 // dumps (diagnostic harness).
 func TestDebugMulticoreWedge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
 	cfg := sim.DefaultConfig()
 	cfg.WarmupInstrs = 1000
 	cfg.MaxInstrs = 10_000

@@ -23,6 +23,9 @@ func mixSources(t *testing.T, names []string, n int) []trace.Source {
 }
 
 func TestFourCoreMixRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
 	cfg := multicore.DefaultConfig()
 	cfg.Single.WarmupInstrs = 1000
 	cfg.Single.MaxInstrs = 10_000

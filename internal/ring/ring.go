@@ -1,0 +1,72 @@
+// Package ring provides a growable FIFO ring buffer used for the
+// simulator's hot-path queues (cache read/write/prefetch queues, fill
+// queues, commit queues). Unlike the head-reslicing `q = q[1:]` idiom,
+// popping clears the vacated slot and reuses the backing array, so a
+// steady-state queue performs zero allocations per operation and never
+// retains dead head pointers.
+package ring
+
+// Buf is a FIFO ring buffer. The zero value is an empty, unallocated
+// buffer ready for use.
+type Buf[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+// Len returns the number of queued elements.
+func (b *Buf[T]) Len() int { return b.n }
+
+// Push appends v at the tail, growing the backing array if full.
+func (b *Buf[T]) Push(v T) {
+	if b.n == len(b.buf) {
+		b.grow()
+	}
+	b.buf[(b.head+b.n)%len(b.buf)] = v
+	b.n++
+}
+
+// Front returns the head element without removing it. It panics on an
+// empty buffer, like indexing an empty slice.
+func (b *Buf[T]) Front() T {
+	if b.n == 0 {
+		panic("ring: Front of empty buffer")
+	}
+	return b.buf[b.head]
+}
+
+// PopFront removes and returns the head element, zeroing the vacated
+// slot so the buffer never retains references to popped elements.
+func (b *Buf[T]) PopFront() T {
+	if b.n == 0 {
+		panic("ring: PopFront of empty buffer")
+	}
+	var zero T
+	v := b.buf[b.head]
+	b.buf[b.head] = zero
+	b.head = (b.head + 1) % len(b.buf)
+	b.n--
+	return v
+}
+
+// At returns the i-th element from the head (0 = front).
+func (b *Buf[T]) At(i int) T {
+	if i < 0 || i >= b.n {
+		panic("ring: index out of range")
+	}
+	return b.buf[(b.head+i)%len(b.buf)]
+}
+
+// grow doubles the backing array, compacting elements to the front.
+func (b *Buf[T]) grow() {
+	cap := len(b.buf) * 2
+	if cap == 0 {
+		cap = 8
+	}
+	nb := make([]T, cap)
+	for i := 0; i < b.n; i++ {
+		nb[i] = b.buf[(b.head+i)%len(b.buf)]
+	}
+	b.buf = nb
+	b.head = 0
+}

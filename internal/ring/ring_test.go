@@ -1,0 +1,78 @@
+package ring
+
+import "testing"
+
+func TestFIFOOrderAcrossGrowth(t *testing.T) {
+	var b Buf[int]
+	for i := 0; i < 100; i++ {
+		b.Push(i)
+	}
+	for i := 0; i < 50; i++ {
+		if got := b.PopFront(); got != i {
+			t.Fatalf("PopFront = %d, want %d", got, i)
+		}
+	}
+	for i := 100; i < 200; i++ {
+		b.Push(i) // wraps and grows with a non-zero head
+	}
+	if b.Len() != 150 {
+		t.Fatalf("Len = %d, want 150", b.Len())
+	}
+	for i := 50; i < 200; i++ {
+		if got := b.PopFront(); got != i {
+			t.Fatalf("PopFront = %d, want %d", got, i)
+		}
+	}
+	if b.Len() != 0 {
+		t.Fatalf("Len = %d after draining", b.Len())
+	}
+}
+
+func TestFrontAndAt(t *testing.T) {
+	var b Buf[string]
+	b.Push("a")
+	b.Push("b")
+	b.Push("c")
+	if b.Front() != "a" || b.At(0) != "a" || b.At(2) != "c" {
+		t.Fatalf("Front/At wrong: %q %q %q", b.Front(), b.At(0), b.At(2))
+	}
+	b.PopFront()
+	if b.Front() != "b" {
+		t.Fatalf("Front after pop = %q", b.Front())
+	}
+}
+
+// TestPopClearsSlot verifies popped slots do not retain references (the
+// queue-head leak the ring replaces head-reslicing for).
+func TestPopClearsSlot(t *testing.T) {
+	var b Buf[*int]
+	v := new(int)
+	b.Push(v)
+	b.PopFront()
+	// The single backing slot must have been zeroed.
+	if b.buf[0] != nil {
+		t.Fatal("PopFront retained a pointer in the backing array")
+	}
+}
+
+// TestSteadyStateZeroAlloc verifies a warm ring allocates nothing.
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	var b Buf[int]
+	for i := 0; i < 16; i++ {
+		b.Push(i)
+	}
+	for b.Len() > 0 {
+		b.PopFront()
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 16; i++ {
+			b.Push(i)
+		}
+		for b.Len() > 0 {
+			b.PopFront()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state ring allocated %.1f/op, want 0", allocs)
+	}
+}

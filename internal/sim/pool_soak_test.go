@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"testing"
+
+	"secpref/internal/mem"
+)
+
+// TestPoolSoakNoLeak drives a memory-bound, prefetch-heavy workload long
+// enough for every queue to hit its high-water mark, then keeps going:
+// the pool's fresh-allocation counter must plateau. If any component
+// leaked requests (the old queue-head reslicing bug) or recycled them
+// into the wrong pool, News would track Gets instead of the bounded
+// in-flight population.
+func TestPoolSoakNoLeak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	cfg := DefaultConfig()
+	cfg.MaxInstrs = 50_000
+	cfg.Secure = true
+	cfg.SUF = true
+	cfg.Prefetcher = "berti"
+	cfg.Mode = ModeTimelySecure
+
+	m, err := NewMachine(cfg, smokeTrace(t, "bfs-3B", 50_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxCycles := mem.Cycle(1000 * cfg.MaxInstrs)
+
+	// Phase 1: reach steady state.
+	if err := m.runUntil(10_000, maxCycles); err != nil {
+		t.Fatalf("soak phase 1: %v", err)
+	}
+	newsBefore, getsBefore := m.pool.News, m.pool.Gets
+	if getsBefore == 0 {
+		t.Fatal("pool never used")
+	}
+
+	// Phase 2: four times as much traffic must allocate almost nothing new.
+	if err := m.runUntil(40_000, maxCycles); err != nil {
+		t.Fatalf("soak phase 2: %v", err)
+	}
+	newsGrowth := m.pool.News - newsBefore
+	getsGrowth := m.pool.Gets - getsBefore
+	if getsGrowth == 0 {
+		t.Fatal("no pool traffic in soak phase")
+	}
+	// Allow a sliver of late growth (a queue depth not yet visited), but
+	// a leak makes News scale with Gets (hundreds of thousands here).
+	if newsGrowth*100 > getsGrowth {
+		t.Errorf("request pool still allocating in steady state: %d new objects over %d checkouts (warm pool was %d)",
+			newsGrowth, getsGrowth, newsBefore)
+	}
+	if m.pool.News*10 > m.pool.Gets {
+		t.Errorf("poor recycling: News=%d vs Gets=%d", m.pool.News, m.pool.Gets)
+	}
+	t.Logf("pool: Gets=%d News=%d (steady-state growth %d)", m.pool.Gets, m.pool.News, newsGrowth)
+}

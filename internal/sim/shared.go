@@ -26,6 +26,11 @@ func BuildShared(cfg Config, cores int, mix []trace.Source) ([]*CoreSystem, *cac
 	channel := dram.New(cfg.DRAM)
 	llcCfg := cache.LLCConfig(cores)
 	llc := cache.New(llcCfg, channel)
+	// All cores and the shared levels are stepped by one goroutine, so
+	// one request pool serves the whole system (requests cross levels).
+	pool := &mem.RequestPool{}
+	channel.SetPool(pool)
+	llc.SetPool(pool)
 
 	machines := make([]*CoreSystem, 0, cores)
 	for i := 0; i < cores; i++ {
@@ -35,7 +40,7 @@ func BuildShared(cfg Config, cores int, mix []trace.Source) ([]*CoreSystem, *cac
 		// budget keep running (and keep contending for the shared LLC
 		// and DRAM) until the slowest core finishes, as in ChampSim.
 		src := trace.Repeat(trace.Offset(mix[i], mem.Addr(i)<<40), 1<<62)
-		m := &Machine{cfg: cfg}
+		m := &Machine{cfg: cfg, pool: pool}
 		m.mem = channel
 		m.llc = llc
 		m.l2 = cache.New(cfg.L2, llc)
@@ -58,6 +63,12 @@ func BuildShared(cfg Config, cores int, mix []trace.Source) ([]*CoreSystem, *cac
 		if err := m.buildPrefetcher(); err != nil {
 			return nil, nil, nil, err
 		}
+		m.core.SetPool(pool)
+		if m.gm != nil {
+			m.gm.SetPool(pool)
+		}
+		m.l1d.SetPool(pool)
+		m.l2.SetPool(pool)
 		m.wireCommit()
 		machines = append(machines, m)
 	}

@@ -25,6 +25,11 @@ var ErrNoProgress = errors.New("sim: no instruction retired for too long")
 // Machine is one assembled single-core system.
 type Machine struct {
 	cfg Config
+	// pool is the machine-wide request free list; every component
+	// allocates and recycles mem.Requests through it.
+	pool *mem.RequestPool
+	// noSkip disables idle-cycle fast-forward (equivalence tests).
+	noSkip bool
 
 	core *cpu.Core
 	gm   *ghostminion.GM
@@ -61,12 +66,18 @@ func NewMachine(cfg Config, src trace.Source) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	// An empty source would silently simulate zero instructions and
+	// surface much later as a confusing ErrNoProgress; reject it here.
+	src, err := trace.NonEmpty(src)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
 	// Slack covers retire-width overshoot at the warmup boundary (the
 	// warmup loop can retire a few instructions past its target).
 	total := cfg.WarmupInstrs + cfg.MaxInstrs + 64
 	src = trace.Repeat(src, total)
 
-	m := &Machine{cfg: cfg}
+	m := &Machine{cfg: cfg, pool: &mem.RequestPool{}}
 	m.mem = dram.New(cfg.DRAM)
 	m.llc = cache.New(cfg.LLC, m.mem)
 	m.l2 = cache.New(cfg.L2, m.llc)
@@ -87,6 +98,7 @@ func NewMachine(cfg Config, src trace.Source) (*Machine, error) {
 		m.tlbs = tlb.New(cfg.TLB)
 		m.core.TLB = m.tlbs
 	}
+	m.wirePool()
 
 	if err := m.buildPrefetcher(); err != nil {
 		return nil, err
@@ -351,6 +363,18 @@ func (m *Machine) BertiDebug() []string {
 	return m.bertiPF.DebugTable()
 }
 
+// wirePool shares the machine's request pool with every component.
+func (m *Machine) wirePool() {
+	m.core.SetPool(m.pool)
+	if m.gm != nil {
+		m.gm.SetPool(m.pool)
+	}
+	m.l1d.SetPool(m.pool)
+	m.l2.SetPool(m.pool)
+	m.llc.SetPool(m.pool)
+	m.mem.SetPool(m.pool)
+}
+
 // step advances the whole machine one cycle.
 func (m *Machine) step() {
 	m.now++
@@ -362,6 +386,61 @@ func (m *Machine) step() {
 	m.l2.Tick(m.now)
 	m.llc.Tick(m.now)
 	m.mem.Tick(m.now)
+}
+
+// nextEvent returns the earliest cycle any component has work of its
+// own (mem.NoEvent if the whole machine is quiescent, which the run
+// loop treats as a wedge). NextEvent never returns a cycle ≤ now, so
+// the moment any component reports now+1 no other can beat it — the
+// probe short-circuits, which keeps its cost negligible on busy cycles
+// (the common case on compute-bound traces, where the skip never fires).
+func (m *Machine) nextEvent() mem.Cycle {
+	min := m.now + 1
+	next := m.core.NextEvent(m.now)
+	if next == min {
+		return next
+	}
+	if m.gm != nil {
+		if t := m.gm.NextEvent(m.now); t < next {
+			if t == min {
+				return t
+			}
+			next = t
+		}
+	}
+	for _, c := range [...]*cache.Cache{m.l1d, m.l2, m.llc} {
+		if t := c.NextEvent(m.now); t < next {
+			if t == min {
+				return t
+			}
+			next = t
+		}
+	}
+	if t := m.mem.NextEvent(m.now); t < next {
+		next = t
+	}
+	return next
+}
+
+// skipTo fast-forwards the machine to cycle target-1 (so the next step
+// ticks exactly at target), integrating the per-cycle statistics every
+// component would have accumulated over the skipped idle cycles. Legal
+// only when nextEvent() returned target: nothing architectural happens
+// in the window, so the run is bit-identical to stepping through it.
+func (m *Machine) skipTo(target mem.Cycle) {
+	k := target - m.now - 1
+	if k == 0 {
+		return
+	}
+	m.core.SkipIdle(m.now, k)
+	if m.gm != nil {
+		m.gm.SkipIdle(k)
+	}
+	m.l1d.SkipIdle(k)
+	m.l2.SkipIdle(k)
+	m.llc.SkipIdle(k)
+	m.mem.SkipIdle(k)
+	m.now += k
 }
 
 // resetStats zeroes every counter block (end of warmup).
@@ -416,18 +495,39 @@ func Run(cfg Config, src trace.Source) (*Result, error) {
 	return m.result(src.Name(), m.now-startCycle), nil
 }
 
+// wedgeWindow is how many cycles without a retirement the run loop
+// tolerates before declaring the simulation wedged.
+const wedgeWindow = 500_000
+
 // runUntil steps until the core has retired n more instructions (or the
-// trace ends), failing on wedge or cycle budget exhaustion.
+// trace ends), failing on wedge or cycle budget exhaustion. When every
+// component is provably idle it fast-forwards to the next scheduled
+// event instead of ticking dead cycles (see docs/performance.md); the
+// skip is clamped so the wedge and budget errors fire on exactly the
+// cycle they would with per-cycle stepping.
 func (m *Machine) runUntil(n uint64, maxCycles mem.Cycle) error {
 	target := m.core.Stats.Instructions + n
 	lastProgress := m.now
 	lastCount := m.core.Stats.Instructions
 	for m.core.Stats.Instructions < target && !m.core.Done() {
+		if !m.noSkip {
+			if next := m.nextEvent(); next > m.now+1 {
+				if limit := lastProgress + wedgeWindow + 1; next > limit {
+					next = limit
+				}
+				if limit := maxCycles + 1; next > limit {
+					next = limit
+				}
+				if next > m.now+1 {
+					m.skipTo(next)
+				}
+			}
+		}
 		m.step()
 		if m.core.Stats.Instructions != lastCount {
 			lastCount = m.core.Stats.Instructions
 			lastProgress = m.now
-		} else if m.now-lastProgress > 500_000 {
+		} else if m.now-lastProgress > wedgeWindow {
 			return ErrNoProgress
 		}
 		if m.now > maxCycles {

@@ -32,11 +32,18 @@ func BuildSMT(cfg Config, threads []trace.Source) ([]*Machine, func(mem.Cycle), 
 	llc := cache.New(cache.LLCConfig(1), channel)
 	l2 := cache.New(cfg.L2, llc)
 	l1d := cache.New(cfg.L1D, l2)
+	// One goroutine steps both threads and the shared levels: a single
+	// request pool serves the whole SMT system.
+	pool := &mem.RequestPool{}
+	channel.SetPool(pool)
+	llc.SetPool(pool)
+	l2.SetPool(pool)
+	l1d.SetPool(pool)
 
 	var machines []*Machine
 	for i, src := range threads {
 		src = trace.Repeat(trace.Offset(src, mem.Addr(i)<<40), 1<<62)
-		m := &Machine{cfg: cfg}
+		m := &Machine{cfg: cfg, pool: pool}
 		m.mem = channel
 		m.llc = llc
 		m.l2 = l2
@@ -74,6 +81,10 @@ func BuildSMT(cfg Config, threads []trace.Source) ([]*Machine, func(mem.Cycle), 
 			if first.xlq != nil {
 				m.xlq = &seccore.XLQ{}
 			}
+		}
+		m.core.SetPool(pool)
+		if m.gm != nil {
+			m.gm.SetPool(pool)
 		}
 		m.wireCommit()
 		machines = append(machines, m)
