@@ -23,6 +23,7 @@ import (
 	"runtime"
 	"time"
 
+	"secpref/internal/probe"
 	"secpref/internal/sim"
 	"secpref/internal/trace"
 	"secpref/internal/workload"
@@ -38,17 +39,22 @@ type Measurement struct {
 }
 
 // Baseline is the checked-in before/after record (BENCH_baseline.json).
+// Probed measures the same scenario with the observability layer
+// attached (interval sampler + lifecycle tracer, campaign sizing);
+// ProbeOverheadPct is its slowdown relative to After.
 type Baseline struct {
-	Benchmark string      `json:"benchmark"`
-	Scenario  string      `json:"scenario"`
-	Before    Measurement `json:"before"`
-	After     Measurement `json:"after"`
-	Speedup   float64     `json:"speedup"`
+	Benchmark        string      `json:"benchmark"`
+	Scenario         string      `json:"scenario"`
+	Before           Measurement `json:"before"`
+	After            Measurement `json:"after"`
+	Speedup          float64     `json:"speedup"`
+	Probed           Measurement `json:"probed"`
+	ProbeOverheadPct float64     `json:"probe_overhead_pct"`
 }
 
 const scenario = "602.gcc-1850B, 50k instrs, secure GhostMinion + TSB + SUF + Berti"
 
-func measureOnce() (Measurement, error) {
+func measureOnce(probed bool) (Measurement, error) {
 	tr, err := workload.Get("602.gcc-1850B", workload.Params{Instrs: 50_000, Seed: 1})
 	if err != nil {
 		return Measurement{}, err
@@ -61,11 +67,20 @@ func measureOnce() (Measurement, error) {
 	cfg.Prefetcher = "berti"
 	cfg.Mode = sim.ModeTimelySecure
 
+	var probes sim.Probes
+	if probed {
+		// Campaign-style attachments (cf. internal/experiments): every 32nd
+		// load traced into an 8Ki ring, one sample per 1k instructions.
+		probes = sim.Probes{
+			Observer: probe.NewTracer(32, 1<<13),
+			Window:   probe.NewIntervalSampler(52),
+		}
+	}
 	var ms0, ms1 runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&ms0)
 	start := time.Now()
-	res, err := sim.Run(cfg, trace.NewSource(tr))
+	res, err := sim.RunProbed(cfg, trace.NewSource(tr), probes)
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&ms1)
 	if err != nil {
@@ -80,14 +95,14 @@ func measureOnce() (Measurement, error) {
 	}, nil
 }
 
-func measure(runs int) (Measurement, error) {
+func measure(runs int, probed bool) (Measurement, error) {
 	// One untimed warmup run (page cache, branch predictors, heap shape).
-	if _, err := measureOnce(); err != nil {
+	if _, err := measureOnce(probed); err != nil {
 		return Measurement{}, err
 	}
 	var best Measurement
 	for i := 0; i < runs; i++ {
-		m, err := measureOnce()
+		m, err := measureOnce(probed)
 		if err != nil {
 			return Measurement{}, err
 		}
@@ -109,7 +124,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	m, err := measure(*runs)
+	m, err := measure(*runs, false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	mp, err := measure(*runs, true)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
@@ -127,16 +147,18 @@ func main() {
 		b.Benchmark = "SimulatorThroughput"
 		b.Scenario = scenario
 		b.After = m
+		b.Probed = mp
 		if b.Before.NsPerOp > 0 {
 			b.Speedup = b.Before.NsPerOp / b.After.NsPerOp
 		}
+		b.ProbeOverheadPct = (mp.NsPerOp/m.NsPerOp - 1) * 100
 		out, _ := json.MarshalIndent(&b, "", "  ")
 		if err := os.WriteFile(*update, append(out, '\n'), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("updated %s: %.1f ms/op, %.0f instrs/s, %.0fx vs before\n",
-			*update, m.NsPerOp/1e6, m.InstrsPerSec, b.Speedup)
+		fmt.Printf("updated %s: %.1f ms/op, %.0f instrs/s, %.0fx vs before; probed %.1f ms/op (%.1f%% overhead)\n",
+			*update, m.NsPerOp/1e6, m.InstrsPerSec, b.Speedup, mp.NsPerOp/1e6, b.ProbeOverheadPct)
 	case *check != "":
 		data, err := os.ReadFile(*check)
 		if err != nil {
@@ -151,12 +173,22 @@ func main() {
 		slowdown := (m.NsPerOp/b.After.NsPerOp - 1) * 100
 		fmt.Printf("current: %.1f ms/op (%.0f instrs/s); baseline: %.1f ms/op; slowdown %.1f%% (tolerance %.0f%%)\n",
 			m.NsPerOp/1e6, m.InstrsPerSec, b.After.NsPerOp/1e6, slowdown, *tol)
-		if slowdown > *tol {
+		fail := slowdown > *tol
+		if b.Probed.NsPerOp > 0 {
+			probedSlowdown := (mp.NsPerOp/b.Probed.NsPerOp - 1) * 100
+			fmt.Printf("probed:  %.1f ms/op (%.0f instrs/s, %.0f allocs); baseline: %.1f ms/op; slowdown %.1f%%\n",
+				mp.NsPerOp/1e6, mp.InstrsPerSec, mp.AllocsPerOp, b.Probed.NsPerOp/1e6, probedSlowdown)
+			fail = fail || probedSlowdown > *tol
+		}
+		if fail {
 			fmt.Fprintln(os.Stderr, "bench: performance regression beyond tolerance")
 			os.Exit(1)
 		}
 	default:
-		out, _ := json.MarshalIndent(&m, "", "  ")
+		out, _ := json.MarshalIndent(&struct {
+			Plain  Measurement `json:"plain"`
+			Probed Measurement `json:"probed"`
+		}{m, mp}, "", "  ")
 		fmt.Println(string(out))
 	}
 }

@@ -2,11 +2,16 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-instrs N] [-warmup N] [-mixes N] [-traces a,b,c] [-fig id | -table n | -all]
+//	experiments [-quick] [-instrs N] [-warmup N] [-mixes N] [-traces a,b,c]
+//	            [-timeseries DIR] [-http ADDR]
+//	            [-fig id | -table n | -all]
 //
 // Each experiment prints the same rows/series the paper reports (see
 // DESIGN.md for the per-experiment index). -all runs everything in
-// paper order.
+// paper order. -timeseries additionally exports a per-run interval
+// time series and request-lifecycle trace; -http serves live campaign
+// telemetry (Prometheus /metrics, expvar, pprof) while running. See
+// docs/observability.md.
 package main
 
 import (
@@ -17,21 +22,48 @@ import (
 	"time"
 
 	"secpref/internal/experiments"
+	"secpref/internal/probe"
 )
+
+// figChoices regenerates the -fig help from the experiment registry so
+// the flag text can never go stale against experiments.IDs.
+func figChoices() string {
+	var out []string
+	for _, id := range experiments.IDs {
+		if strings.HasPrefix(id, "table") {
+			continue
+		}
+		out = append(out, strings.TrimPrefix(id, "fig"))
+	}
+	out = append(out, experiments.ExtensionIDs...)
+	return strings.Join(out, ",")
+}
+
+func tableChoices() string {
+	var out []string
+	for _, id := range experiments.IDs {
+		if strings.HasPrefix(id, "table") {
+			out = append(out, strings.TrimPrefix(id, "table"))
+		}
+	}
+	return strings.Join(out, ",")
+}
 
 func main() {
 	var (
-		quick  = flag.Bool("quick", false, "smoke-scale campaign (fewer traces, shorter runs)")
-		instrs = flag.Int("instrs", 0, "measured instructions per run (0 = default)")
-		warmup = flag.Int("warmup", 0, "warmup instructions per run (0 = default)")
-		mixes  = flag.Int("mixes", 0, "4-core mixes for fig15 (0 = default)")
-		traces = flag.String("traces", "", "comma-separated trace subset")
-		figID  = flag.String("fig", "", "figure to regenerate (1,3,4,5,6,10,11,12a,12b,13,14,15,suf-accuracy)")
-		tabID  = flag.String("table", "", "table to regenerate (1,2,3)")
-		all    = flag.Bool("all", false, "regenerate every paper experiment")
-		ext    = flag.Bool("ext", false, "also run extension experiments (SMT, ablations)")
-		par    = flag.Int("p", 0, "parallel simulations (0 = GOMAXPROCS)")
-		asJSON = flag.Bool("json", false, "emit tables as JSON instead of text")
+		quick      = flag.Bool("quick", false, "smoke-scale campaign (fewer traces, shorter runs)")
+		instrs     = flag.Int("instrs", 0, "measured instructions per run (0 = default)")
+		warmup     = flag.Int("warmup", 0, "warmup instructions per run (0 = default)")
+		mixes      = flag.Int("mixes", 0, "4-core mixes for fig15 (0 = default)")
+		traces     = flag.String("traces", "", "comma-separated trace subset")
+		figID      = flag.String("fig", "", "figure to regenerate ("+figChoices()+")")
+		tabID      = flag.String("table", "", "table to regenerate ("+tableChoices()+")")
+		all        = flag.Bool("all", false, "regenerate every paper experiment")
+		ext        = flag.Bool("ext", false, "also run extension experiments (SMT, ablations)")
+		par        = flag.Int("p", 0, "parallel simulations (0 = GOMAXPROCS)")
+		asJSON     = flag.Bool("json", false, "emit tables as JSON instead of text")
+		timeseries = flag.String("timeseries", "", "export per-run interval time series and lifecycle traces into this directory")
+		httpAddr   = flag.String("http", "", "serve live campaign telemetry (/metrics, /debug/vars, /debug/pprof) on this address")
 	)
 	flag.Parse()
 
@@ -54,7 +86,7 @@ func main() {
 	if *par > 0 {
 		opts.Parallelism = *par
 	}
-	r := experiments.NewRunner(opts)
+	opts.TimeseriesDir = *timeseries
 
 	var ids []string
 	switch {
@@ -74,18 +106,38 @@ func main() {
 		ids = []string{id}
 	case *tabID != "":
 		ids = []string{"table" + *tabID}
+	case *timeseries != "":
+		// A time-series export with no experiment selected defaults to the
+		// miss-latency study — the figure its per-window metrics track.
+		ids = []string{"fig4"}
 	default:
 		fmt.Fprintln(os.Stderr, "specify -fig, -table, or -all; experiments:", strings.Join(experiments.IDs, " "))
 		os.Exit(2)
 	}
 
-	for _, id := range ids {
+	campaign := probe.NewCampaign(len(ids))
+	opts.Campaign = campaign
+	if *httpAddr != "" {
+		campaign.Publish()
+		addr, _, err := probe.Serve(*httpAddr, campaign)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: telemetry server: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: telemetry on http://%s (/metrics, /debug/vars, /debug/pprof/)\n", addr)
+	}
+	r := experiments.NewRunner(opts)
+
+	for i, id := range ids {
 		start := time.Now()
+		doneBefore, _ := campaign.Runs()
+		campaign.ExperimentStarted(id)
 		t, err := r.Run(id)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
 			os.Exit(1)
 		}
+		campaign.ExperimentDone()
 		if *asJSON {
 			raw, err := t.JSON()
 			if err != nil {
@@ -97,5 +149,14 @@ func main() {
 			fmt.Print(t.String())
 			fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
 		}
+		done, _ := campaign.Runs()
+		summary := fmt.Sprintf("experiments: [%d/%d] %s: %d runs in %.1fs", i+1, len(ids), id, done-doneBefore, time.Since(start).Seconds())
+		if eta := campaign.ETA(); eta > 0 {
+			summary += fmt.Sprintf(", ETA %s", eta.Round(time.Second))
+		}
+		fmt.Fprintln(os.Stderr, summary)
+	}
+	if *timeseries != "" {
+		fmt.Fprintf(os.Stderr, "experiments: time series and lifecycle traces in %s\n", *timeseries)
 	}
 }

@@ -3,17 +3,25 @@
 // Usage:
 //
 //	secpref -trace 605.mcf-1554B -prefetcher berti -mode ts -secure -suf
+//	secpref -trace 605.mcf-1554B -prefetcher berti -mode ts -timeseries out/
 //	secpref -list
+//
+// -timeseries additionally exports an interval time series
+// (<base>.series.json/.csv) and a Perfetto-loadable request-lifecycle
+// trace (<base>.trace.json) into the given directory; see
+// docs/observability.md.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"secpref"
 	"secpref/internal/mem"
+	"secpref/internal/probe"
 	"secpref/internal/trace"
 )
 
@@ -29,6 +37,7 @@ func main() {
 		warmup    = flag.Int("warmup", 50_000, "warmup instructions")
 		seed      = flag.Int64("seed", 1, "workload seed")
 		list      = flag.Bool("list", false, "list available traces and exit")
+		tsDir     = flag.String("timeseries", "", "export interval time series and lifecycle trace into this directory")
 	)
 	flag.Parse()
 
@@ -58,6 +67,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	// With -timeseries, the run carries an interval sampler and a
+	// request-lifecycle tracer; both are exported after the run. A single
+	// interactive run affords denser sampling than a campaign: every 16th
+	// load is traced into a 32Ki-event ring.
+	var probes secpref.Probes
+	var sampler *probe.IntervalSampler
+	var tracer *probe.Tracer
+	if *tsDir != "" {
+		sampler = probe.NewIntervalSampler(*instrs/1000 + 2)
+		tracer = probe.NewTracer(16, 1<<15)
+		probes = secpref.Probes{Observer: tracer, Window: sampler}
+	}
+
 	var res *secpref.Result
 	var err error
 	if *traceFile != "" {
@@ -72,13 +94,19 @@ func main() {
 			fmt.Fprintln(os.Stderr, "secpref:", ferr)
 			os.Exit(1)
 		}
-		res, err = secpref.RunTrace(cfg, tr)
+		res, err = secpref.RunTraceProbed(cfg, tr, probes)
 	} else {
-		res, err = secpref.Run(cfg, *traceName, secpref.WorkloadParams{Instrs: *instrs + *warmup, Seed: *seed})
+		res, err = secpref.RunProbed(cfg, *traceName, secpref.WorkloadParams{Instrs: *instrs + *warmup, Seed: *seed}, probes)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "secpref:", err)
 		os.Exit(1)
+	}
+	if *tsDir != "" {
+		if err := exportTimeseries(*tsDir, res.TraceName, cfg.Label(), sampler, tracer); err != nil {
+			fmt.Fprintln(os.Stderr, "secpref:", err)
+			os.Exit(1)
+		}
 	}
 
 	fmt.Printf("trace:            %s\n", res.TraceName)
@@ -105,6 +133,45 @@ func main() {
 		fmt.Printf("SUF drops:        %d (accuracy %.2f%%)\n", res.Core.SUFDrops, res.SUFAccuracy()*100)
 	}
 	fmt.Printf("dynamic energy:   %.2f uJ\n", res.Energy.Total()/1e6)
+}
+
+// exportTimeseries writes <trace>__<label>.series.json, .series.csv,
+// and .trace.json into dir and reports the paths on stderr.
+func exportTimeseries(dir, traceName, label string, s *probe.IntervalSampler, tr *probe.Tracer) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	sanitized := strings.Map(func(r rune) rune {
+		switch r {
+		case '/', '+', ' ', ':':
+			return '-'
+		}
+		return r
+	}, label)
+	base := filepath.Join(dir, traceName+"__"+sanitized)
+	write := func(path string, emit func(*os.File) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		return f.Close()
+	}
+	if err := write(base+".series.json", func(f *os.File) error { return s.WriteJSON(f, label, traceName) }); err != nil {
+		return err
+	}
+	if err := write(base+".series.csv", func(f *os.File) error { return s.WriteCSV(f) }); err != nil {
+		return err
+	}
+	if err := write(base+".trace.json", func(f *os.File) error { return tr.WriteChromeTrace(f, traceName+" "+label) }); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "secpref: wrote %s.series.json, .series.csv, .trace.json (%d windows, %d trace events)\n",
+		base, s.Len(), len(tr.Events()))
+	return nil
 }
 
 func max(a, b uint64) uint64 {

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"secpref/internal/mem"
+	"secpref/internal/probe"
 )
 
 // TestTickZeroAllocSteadyState pins the zero-allocation property of the
@@ -36,5 +37,39 @@ func TestTickZeroAllocSteadyState(t *testing.T) {
 
 	if avg := testing.AllocsPerRun(100, step); avg != 0 {
 		t.Errorf("steady-state Cache.Tick allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+// TestTickZeroAllocWithTracer extends the steady-state property to the
+// probe-enabled path: event emission is by value into the tracer's
+// preallocated ring, so attaching an observer must not reintroduce
+// allocations either.
+func TestTickZeroAllocWithTracer(t *testing.T) {
+	c := New(tinyConfig(), &mockNext{})
+	c.Obs = probe.NewTracer(1, 256)
+	line := lineInSet(0, 0)
+
+	c.Enqueue(loadReq(line, nil))
+	now := runTicks(c, 0, 10)
+	if !c.Contains(line) {
+		t.Fatal("warm line not installed")
+	}
+	seq := uint64(1)
+	step := func() {
+		r := c.Pool().Get()
+		r.Line, r.IP, r.Kind = line, 0x400, mem.KindLoad
+		r.Timestamp = seq // sampled identity: every event enters the ring
+		seq++
+		if !c.Enqueue(r) {
+			panic("steady-state enqueue rejected")
+		}
+		now = runTicks(c, now, 4)
+	}
+	for i := 0; i < 300; i++ {
+		step()
+	}
+
+	if avg := testing.AllocsPerRun(100, step); avg != 0 {
+		t.Errorf("probed Cache.Tick allocates %.1f objects/op, want 0", avg)
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"secpref/internal/mem"
+	"secpref/internal/probe"
 	"secpref/internal/ring"
 	"secpref/internal/stats"
 )
@@ -126,9 +127,14 @@ type Cache struct {
 	pool *mem.RequestPool
 	next Port
 	now  mem.Cycle
+	site probe.Site
 
 	// Stats is the level's counter block.
 	Stats stats.CacheStats
+
+	// Obs, if set, receives access/merge/fill/drop/install/evict events
+	// at this level. Observers are read-only; see internal/probe.
+	Obs probe.Observer
 
 	// OnAccess, if set, observes demand accesses at this level
 	// (prefetcher training hook).
@@ -156,7 +162,7 @@ type fillRecord struct {
 // isolated unit tests; misses then complete immediately at a fixed
 // penalty — tests only).
 func New(cfg Config, next Port) *Cache {
-	c := &Cache{cfg: cfg, next: next, pool: &mem.RequestPool{}}
+	c := &Cache{cfg: cfg, next: next, pool: &mem.RequestPool{}, site: probe.SiteOf(cfg.Level)}
 	nsets := cfg.Sets()
 	if nsets == 0 || nsets&(nsets-1) != 0 {
 		// Power-of-two set counts keep index math trivial; all Table II
@@ -427,10 +433,22 @@ func (c *Cache) handleRead(r *mem.Request) bool {
 		c.Stats.Accesses[r.Kind]++
 		c.Stats.Misses[r.Kind]++
 		c.notifyAccess(r, nil) // r.MergedPrefetch set by missTo if merged
+		if c.Obs != nil {
+			c.Obs.Event(probe.Event{
+				Kind: probe.EvAccess, Site: c.site, Cycle: c.now,
+				Seq: r.Timestamp, Line: r.Line, IP: r.IP, Req: r.Kind,
+			})
+		}
 		return true
 	}
 	c.Stats.Accesses[r.Kind]++
 	c.notifyAccess(r, ls)
+	if c.Obs != nil {
+		c.Obs.Event(probe.Event{
+			Kind: probe.EvAccess, Site: c.site, Cycle: c.now,
+			Seq: r.Timestamp, Line: r.Line, IP: r.IP, Req: r.Kind, Hit: true,
+		})
+	}
 	c.touch(ls)
 	if ls.prefetched {
 		ls.prefetched = false
@@ -456,6 +474,12 @@ func (c *Cache) handleSpec(r *mem.Request) bool {
 	if ls != nil {
 		c.Stats.SpecAccesses++
 		c.notifySpec(r, ls)
+		if c.Obs != nil {
+			c.Obs.Event(probe.Event{
+				Kind: probe.EvAccess, Site: c.site, Cycle: c.now,
+				Seq: r.Timestamp, Line: r.Line, IP: r.IP, Req: r.Kind, Hit: true,
+			})
+		}
 		// The stored prefetch latency travels with the response (the
 		// X-LQ Hitp case) and the use is counted for accuracy
 		// statistics — measurement, not architectural state.
@@ -483,6 +507,13 @@ func (c *Cache) handleSpec(r *mem.Request) bool {
 			c.Stats.SpecMisses++
 			c.Stats.MSHRMerges++
 			c.notifySpec(r, nil)
+			if c.Obs != nil {
+				c.Obs.Event(probe.Event{
+					Kind: probe.EvMerge, Site: c.site, Cycle: c.now,
+					Seq: r.Timestamp, Line: r.Line, IP: r.IP, Req: r.Kind,
+					Hit: r.MergedPrefetch,
+				})
+			}
 			return true
 		}
 	}
@@ -493,6 +524,12 @@ func (c *Cache) handleSpec(r *mem.Request) bool {
 	c.Stats.SpecAccesses++
 	c.Stats.SpecMisses++
 	c.notifySpec(r, nil)
+	if c.Obs != nil {
+		c.Obs.Event(probe.Event{
+			Kind: probe.EvAccess, Site: c.site, Cycle: c.now,
+			Seq: r.Timestamp, Line: r.Line, IP: r.IP, Req: r.Kind,
+		})
+	}
 	c.initMSHR(idx, r, mem.KindLoad, r.FillLevel)
 	e := &c.mshr[idx]
 	e.spec = true
@@ -599,6 +636,13 @@ func (c *Cache) handlePrefetch(r *mem.Request) bool {
 			return true
 		}
 		c.Stats.PrefDroppedQ++
+		if c.Obs != nil {
+			c.Obs.Event(probe.Event{
+				Kind: probe.EvDrop, Site: c.site, Cycle: c.now,
+				Seq: r.Timestamp, Line: r.Line, IP: r.IP, Req: r.Kind,
+				Aux: probe.DropQueueFull,
+			})
+		}
 		c.pool.Put(r)
 		return true
 	}
@@ -625,6 +669,13 @@ func (c *Cache) missTo(r *mem.Request, kind mem.Kind) bool {
 			e.spec = false
 			e.waiters = append(e.waiters, r)
 			c.Stats.MSHRMerges++
+			if c.Obs != nil {
+				c.Obs.Event(probe.Event{
+					Kind: probe.EvMerge, Site: c.site, Cycle: c.now,
+					Seq: r.Timestamp, Line: r.Line, IP: r.IP, Req: r.Kind,
+					Hit: r.MergedPrefetch,
+				})
+			}
 			return true
 		}
 	}
@@ -795,6 +846,13 @@ func (c *Cache) applyFill(fr *fillRecord) bool {
 	if isPref {
 		c.Stats.PrefFilled++
 	}
+	if c.Obs != nil {
+		c.Obs.Event(probe.Event{
+			Kind: probe.EvInstall, Site: c.site, Cycle: c.now,
+			Seq: fr.req.Timestamp, Line: fr.req.Line, IP: fr.req.IP,
+			Req: fr.req.Kind, Hit: isPref, Aux: uint64(lat),
+		})
+	}
 	if c.OnFill != nil && fr.entry != nil {
 		fi := FillInfo{Line: fr.req.Line, Latency: lat, Prefetch: isPref, Cycle: c.now}
 		if len(fr.entry.waiters) > 0 {
@@ -837,6 +895,12 @@ func (c *Cache) evict(ls *lineState) bool {
 	if c.OnEvict != nil {
 		c.OnEvict(ls.line)
 	}
+	if c.Obs != nil {
+		c.Obs.Event(probe.Event{
+			Kind: probe.EvEvict, Site: c.site, Cycle: c.now,
+			Line: ls.line, Hit: ls.dirty, Aux: uint64(ls.wbbRest),
+		})
+	}
 	ls.valid = false
 	return true
 }
@@ -849,6 +913,13 @@ func (c *Cache) completeMSHR(e *mshrEntry, child *mem.Request) {
 		e.waiters[i] = nil
 		w.ServedBy = served
 		w.FillLat = c.now - w.Issued
+		if c.Obs != nil {
+			c.Obs.Event(probe.Event{
+				Kind: probe.EvFill, Site: c.site, Cycle: c.now,
+				Seq: w.Timestamp, Line: w.Line, IP: w.IP, Req: w.Kind,
+				Level: served, Aux: uint64(w.FillLat),
+			})
+		}
 		if w.Kind.IsDemand() || w.Kind == mem.KindRefetch {
 			if w.Kind == mem.KindLoad && !w.SpecBypass {
 				c.Stats.DemandMissLatSum += uint64(c.now - w.Issued)

@@ -14,6 +14,7 @@ package cpu
 import (
 	"secpref/internal/bpred"
 	"secpref/internal/mem"
+	"secpref/internal/probe"
 	"secpref/internal/ring"
 	"secpref/internal/stats"
 	"secpref/internal/tlb"
@@ -164,6 +165,10 @@ type Core struct {
 	// issues (the Table II dTLB/STLB hierarchy).
 	TLB *tlb.Hierarchy
 
+	// Obs, if set, receives issue/fill/commit events for retiring loads.
+	// Observers are read-only; see internal/probe.
+	Obs probe.Observer
+
 	// Stats is the core's counter block.
 	Stats stats.CoreStats
 }
@@ -233,6 +238,14 @@ func (c *Core) retire() {
 				if !c.OnCommitLoad(ci) {
 					return // commit engine full; stall retirement
 				}
+			}
+			if c.Obs != nil {
+				c.Obs.Event(probe.Event{
+					Kind: probe.EvCommit, Site: probe.SiteCore, Cycle: c.now,
+					Seq: e.seq, Line: mem.LineOf(e.in.Load), IP: e.in.IP,
+					Req: mem.KindLoad, Level: e.hitLevel, Hit: e.hitPref,
+					Aux: uint64(e.fetchLat),
+				})
 			}
 			c.lqFree++
 		}
@@ -412,6 +425,13 @@ func (c *Core) tryIssue(e *robEntry, idx int) bool {
 	if c.OnIssueLoad != nil {
 		c.OnIssueLoad(e.req.Line, e.req.IP, e.lqID, c.now)
 	}
+	if c.Obs != nil {
+		c.Obs.Event(probe.Event{
+			Kind: probe.EvIssue, Site: probe.SiteCore, Cycle: c.now,
+			Seq: e.seq, Line: mem.LineOf(e.in.Load), IP: e.in.IP,
+			Req: mem.KindLoad,
+		})
+	}
 	return true
 }
 
@@ -430,6 +450,13 @@ func (c *Core) Complete(r *mem.Request) {
 	ent.hitPref = r.HitPrefetched
 	ent.mergedPref = r.MergedPrefetch
 	ent.req = nil
+	if c.Obs != nil {
+		c.Obs.Event(probe.Event{
+			Kind: probe.EvFill, Site: probe.SiteCore, Cycle: c.now,
+			Seq: r.Timestamp, Line: r.Line, IP: r.IP, Req: r.Kind,
+			Level: r.ServedBy, Hit: r.HitPrefetched, Aux: uint64(r.FillLat),
+		})
+	}
 	c.pool.Put(r)
 }
 

@@ -6,6 +6,7 @@ package dram
 
 import (
 	"secpref/internal/mem"
+	"secpref/internal/probe"
 	"secpref/internal/stats"
 )
 
@@ -62,6 +63,10 @@ type DRAM struct {
 
 	// Stats is the channel's counter block.
 	Stats stats.DRAMStats
+
+	// Obs, if set, observes every scheduled access (Hit reports a
+	// row-buffer hit). Observers are read-only; see internal/probe.
+	Obs probe.Observer
 }
 
 // New builds a channel.
@@ -143,8 +148,9 @@ func (d *DRAM) issueOne() bool {
 
 	bank := d.bankOf(entry.req.Line)
 	row := d.rowOf(entry.req.Line) + 1
+	rowHit := d.rows[bank] == row
 	var lat mem.Cycle
-	if d.rows[bank] == row {
+	if rowHit {
 		lat = d.cfg.TCAS
 		d.Stats.RowHits++
 	} else if d.rows[bank] == 0 {
@@ -156,6 +162,14 @@ func (d *DRAM) issueOne() bool {
 	}
 	d.rows[bank] = row
 	d.busFreeAt = d.now + d.cfg.BurstCycles
+
+	if d.Obs != nil {
+		d.Obs.Event(probe.Event{
+			Kind: probe.EvAccess, Site: probe.SiteDRAM, Cycle: d.now,
+			Seq: entry.req.Timestamp, Line: entry.req.Line, IP: entry.req.IP,
+			Req: entry.req.Kind, Hit: rowHit, Aux: uint64(lat),
+		})
+	}
 
 	if drainWrites {
 		d.Stats.Writes++

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"sync"
 
+	"secpref/internal/probe"
 	"secpref/internal/sim"
 	"secpref/internal/trace"
 	"secpref/internal/workload"
@@ -38,6 +39,14 @@ type Options struct {
 	Seed int64
 	// Parallelism bounds concurrent simulations (default: GOMAXPROCS).
 	Parallelism int
+	// TimeseriesDir, when non-empty, attaches an interval sampler and a
+	// request-lifecycle tracer to every single-core run and exports
+	// <trace>__<label>.series.json, .series.csv, and .trace.json into the
+	// directory. Attached probes never change the simulated results.
+	TimeseriesDir string
+	// Campaign, when non-nil, receives live run/instruction counters as
+	// the campaign progresses (cmd/experiments wires it to -http).
+	Campaign *probe.Campaign
 }
 
 // DefaultOptions returns the standard campaign size.
@@ -200,7 +209,30 @@ func (r *Runner) result(traceName string, v cfgVariant) (*sim.Result, error) {
 			e.err = err
 			return
 		}
-		e.res, e.err = sim.Run(v.config(r.opts), trace.NewSource(tr))
+		if c := r.opts.Campaign; c != nil {
+			c.RunStarted()
+			defer func() {
+				if e.err != nil {
+					c.RunFailed()
+				} else {
+					c.RunDone(e.res.Instructions, e.res.Cycles)
+				}
+			}()
+		}
+		src := trace.NewSource(tr)
+		if r.opts.TimeseriesDir == "" {
+			e.res, e.err = sim.Run(v.config(r.opts), src)
+			return
+		}
+		sampler := probe.NewIntervalSampler(r.opts.Instrs/int(sim.DefaultWindowInstrs) + 2)
+		tracer := probe.NewTracer(traceSampleEvery, traceRingCap)
+		e.res, e.err = sim.RunProbed(v.config(r.opts), src, sim.Probes{
+			Observer: tracer,
+			Window:   sampler,
+		})
+		if e.err == nil {
+			e.err = r.exportTimeseries(traceName, v.label, sampler, tracer)
+		}
 	})
 	return e.res, e.err
 }

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"secpref/internal/probe"
+)
+
+// Lifecycle-tracer sizing for campaign runs: sample every 32nd load and
+// keep the most recent 8Ki events per run. Campaign traces are meant for
+// spot inspection in Perfetto, not exhaustive capture; the ring bounds
+// memory across the fan-out.
+const (
+	traceSampleEvery = 32
+	traceRingCap     = 1 << 13
+)
+
+// sanitizeLabel turns a variant label ("berti/TS/secure+SUF") into a
+// filename fragment ("berti-TS-secure-SUF").
+func sanitizeLabel(label string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case '/', '+', ' ', ':':
+			return '-'
+		}
+		return r
+	}, label)
+}
+
+// exportTimeseries writes one run's sampler and tracer output into
+// opts.TimeseriesDir as <trace>__<label>.series.json, .series.csv, and
+// .trace.json.
+func (r *Runner) exportTimeseries(traceName, label string, s *probe.IntervalSampler, tr *probe.Tracer) error {
+	dir := r.opts.TimeseriesDir
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("timeseries dir: %w", err)
+	}
+	base := filepath.Join(dir, traceName+"__"+sanitizeLabel(label))
+	write := func(path string, emit func(*os.File) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		return f.Close()
+	}
+	if err := write(base+".series.json", func(f *os.File) error {
+		return s.WriteJSON(f, label, traceName)
+	}); err != nil {
+		return err
+	}
+	if err := write(base+".series.csv", func(f *os.File) error {
+		return s.WriteCSV(f)
+	}); err != nil {
+		return err
+	}
+	return write(base+".trace.json", func(f *os.File) error {
+		return tr.WriteChromeTrace(f, traceName+" "+label)
+	})
+}

@@ -19,6 +19,7 @@ package ghostminion
 import (
 	"secpref/internal/cache"
 	"secpref/internal/mem"
+	"secpref/internal/probe"
 	"secpref/internal/ring"
 	"secpref/internal/stats"
 )
@@ -128,6 +129,10 @@ type GM struct {
 	// prefetching on the secure system (misses additionally surface at
 	// L1D via its OnSpecAccess hook with L1D hit information).
 	OnAccess func(line mem.Line, ip mem.Addr, hit bool, cycle mem.Cycle)
+
+	// Obs, if set, receives access/merge/fill/drop/commit/SUF events at
+	// the GM. Observers are read-only; see internal/probe.
+	Obs probe.Observer
 }
 
 // New builds a GM in front of l1d.
@@ -199,6 +204,12 @@ func (g *GM) issueLoad(r *mem.Request, countStats, allowLeapfrog bool) bool {
 	if e := g.lookupVisible(r.Line, r.Timestamp); e != nil {
 		if countStats {
 			g.Stats.Accesses[mem.KindLoad]++
+			if g.Obs != nil {
+				g.Obs.Event(probe.Event{
+					Kind: probe.EvAccess, Site: probe.SiteGM, Cycle: g.now,
+					Seq: r.Timestamp, Line: r.Line, IP: r.IP, Req: mem.KindLoad, Hit: true,
+				})
+			}
 		}
 		if g.OnAccess != nil {
 			g.OnAccess(r.Line, r.IP, true, g.now)
@@ -225,6 +236,12 @@ func (g *GM) issueLoad(r *mem.Request, countStats, allowLeapfrog bool) bool {
 				g.Stats.Misses[mem.KindLoad]++
 			}
 			g.Stats.MSHRMerges++
+			if g.Obs != nil {
+				g.Obs.Event(probe.Event{
+					Kind: probe.EvMerge, Site: probe.SiteGM, Cycle: g.now,
+					Seq: r.Timestamp, Line: r.Line, IP: r.IP, Req: mem.KindLoad,
+				})
+			}
 			return true
 		}
 	}
@@ -235,6 +252,12 @@ func (g *GM) issueLoad(r *mem.Request, countStats, allowLeapfrog bool) bool {
 	if countStats {
 		g.Stats.Accesses[mem.KindLoad]++
 		g.Stats.Misses[mem.KindLoad]++
+		if g.Obs != nil {
+			g.Obs.Event(probe.Event{
+				Kind: probe.EvAccess, Site: probe.SiteGM, Cycle: g.now,
+				Seq: r.Timestamp, Line: r.Line, IP: r.IP, Req: mem.KindLoad,
+			})
+		}
 	}
 	g.startFetch(idx, r)
 	return true
@@ -280,6 +303,13 @@ func (g *GM) allocMSHR(ts uint64, allowLeapfrog bool) int {
 	// the in-flight probe's eventual fill is discarded (the completion
 	// handler sees a slot whose line no longer matches).
 	v := &g.mshr[victim]
+	if g.Obs != nil {
+		g.Obs.Event(probe.Event{
+			Kind: probe.EvDrop, Site: probe.SiteGM, Cycle: g.now,
+			Seq: v.timestamp, Line: v.line, Req: mem.KindLoad,
+			Aux: probe.DropLeapfrog,
+		})
+	}
 	for i, w := range v.waiters {
 		g.retryq.Push(w)
 		v.waiters[i] = nil
@@ -370,6 +400,13 @@ func (g *GM) fill(e *gmMSHR, pr *mem.Request) {
 		}
 		g.Stats.DemandMissLatSum += uint64(g.now - w.Issued)
 		g.Stats.DemandMissLatCnt++
+		if g.Obs != nil {
+			g.Obs.Event(probe.Event{
+				Kind: probe.EvFill, Site: probe.SiteGM, Cycle: g.now,
+				Seq: w.Timestamp, Line: w.Line, IP: w.IP, Req: mem.KindLoad,
+				Level: servedBy, Hit: w.HitPrefetched, Aux: uint64(g.now - w.Issued),
+			})
+		}
 		g.respond(w)
 	}
 	for i := range e.waiters {
@@ -439,8 +476,20 @@ func (g *GM) Commit(line mem.Line, ts uint64, hitLevel mem.Level, cs *stats.Core
 		}
 	}
 	drop, wbb := g.filter.OnCommit(line, hitLevel)
+	if g.Obs != nil {
+		g.Obs.Event(probe.Event{
+			Kind: probe.EvSUF, Site: probe.SiteGM, Cycle: g.now,
+			Seq: ts, Line: line, Level: hitLevel, Hit: drop, Aux: uint64(wbb),
+		})
+	}
 	if drop {
 		cs.SUFDrops++
+		if g.Obs != nil {
+			g.Obs.Event(probe.Event{
+				Kind: probe.EvCommit, Site: probe.SiteGM, Cycle: g.now,
+				Seq: ts, Line: line, Level: hitLevel, Aux: probe.CommitSUFDrop,
+			})
+		}
 		// Oracle accuracy probe: was the line truly still in L1D, as
 		// the recorded hit level promised?
 		if !g.l1d.Contains(line) {
@@ -454,6 +503,12 @@ func (g *GM) Commit(line mem.Line, ts uint64, hitLevel mem.Level, cs *stats.Core
 	}
 	if gme != nil {
 		cs.CommitGMHits++
+		if g.Obs != nil {
+			g.Obs.Event(probe.Event{
+				Kind: probe.EvCommit, Site: probe.SiteGM, Cycle: g.now,
+				Seq: ts, Line: line, Level: hitLevel, Hit: true, Aux: probe.CommitGMHit,
+			})
+		}
 		// On-commit write: transfer GM -> L1D.
 		r := g.pool.Get()
 		r.Line = line
@@ -465,6 +520,12 @@ func (g *GM) Commit(line mem.Line, ts uint64, hitLevel mem.Level, cs *stats.Core
 		return
 	}
 	cs.CommitGMMisses++
+	if g.Obs != nil {
+		g.Obs.Event(probe.Event{
+			Kind: probe.EvCommit, Site: probe.SiteGM, Cycle: g.now,
+			Seq: ts, Line: line, Level: hitLevel, Aux: probe.CommitGMMiss,
+		})
+	}
 	// Re-fetch into the non-speculative hierarchy.
 	r := g.pool.Get()
 	r.Line = line

@@ -1,0 +1,46 @@
+package probe
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// NewHandler builds the telemetry HTTP mux for a campaign:
+//
+//	/metrics       Prometheus text-format counters
+//	/debug/vars    expvar JSON (includes the campaign snapshot)
+//	/debug/pprof/  live CPU/heap/goroutine profiling
+//
+// The campaign is published to expvar as a side effect.
+func NewHandler(c *Campaign) http.Handler {
+	c.Publish()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = c.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr and serves the telemetry handler in the background.
+// It returns the bound address (useful with ":0") and the server for
+// shutdown; the error covers the bind only — serve-loop errors after a
+// successful bind terminate silently with the process.
+func Serve(addr string, c *Campaign) (string, *http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: NewHandler(c), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv, nil
+}

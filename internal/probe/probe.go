@@ -1,0 +1,261 @@
+// Package probe is the simulator's observability layer: a nil-checkable
+// observer vocabulary the hot paths emit into, plus three production
+// consumers — an interval time-series sampler, a sampled
+// request-lifecycle tracer, and live campaign telemetry (expvar /
+// Prometheus / pprof).
+//
+// The contract with the hot paths is strict (see docs/observability.md):
+//
+//   - Every emission site is guarded by a nil check on a concrete
+//     Observer field, so the disabled path costs one predictable branch
+//     and allocates nothing (internal/cache's alloc tests enforce this).
+//   - Events are passed by value; an observer that wants to retain one
+//     must copy it into its own storage (the Tracer's fixed ring).
+//   - Observers are read-only: they must never mutate simulation state,
+//     and the simulator never reads anything back from them, so an
+//     attached observer cannot perturb results (sim's equivalence test
+//     enforces bit-identical outcomes).
+package probe
+
+import (
+	"fmt"
+
+	"secpref/internal/mem"
+)
+
+// Site identifies the component that emitted an event. Unlike
+// mem.Level it includes the core, the GhostMinion speculative cache,
+// and DRAM, so a request's lifecycle chain is unambiguous.
+type Site uint8
+
+const (
+	// SiteCore is the out-of-order core (issue and commit events).
+	SiteCore Site = iota
+	// SiteGM is the GhostMinion speculative cache.
+	SiteGM
+	// SiteL1D, SiteL2, SiteLLC are the cache levels.
+	SiteL1D
+	SiteL2
+	SiteLLC
+	// SiteDRAM is the memory controller.
+	SiteDRAM
+
+	// NumSites is the number of emission sites.
+	NumSites = int(SiteDRAM) + 1
+)
+
+// String implements fmt.Stringer.
+func (s Site) String() string {
+	switch s {
+	case SiteCore:
+		return "core"
+	case SiteGM:
+		return "GM"
+	case SiteL1D:
+		return "L1D"
+	case SiteL2:
+		return "L2"
+	case SiteLLC:
+		return "LLC"
+	case SiteDRAM:
+		return "DRAM"
+	}
+	return fmt.Sprintf("site(%d)", uint8(s))
+}
+
+// SiteOf maps a cache level to its probe site.
+func SiteOf(l mem.Level) Site {
+	switch l {
+	case mem.LvlL2:
+		return SiteL2
+	case mem.LvlLLC:
+		return SiteLLC
+	case mem.LvlDRAM:
+		return SiteDRAM
+	}
+	return SiteL1D
+}
+
+// EventKind classifies an observed event.
+type EventKind uint8
+
+const (
+	// EvIssue: the core sent a load to the memory system.
+	EvIssue EventKind = iota
+	// EvAccess: a component looked a request up (Hit reports the
+	// outcome; at DRAM it reports a row-buffer hit).
+	EvAccess
+	// EvMerge: a request joined an in-flight MSHR entry.
+	EvMerge
+	// EvFill: a request's data became available at the observing site
+	// (Aux carries the observed latency in cycles).
+	EvFill
+	// EvDrop: a request was abandoned (prefetch queue/MSHR overflow, or
+	// a GhostMinion MSHR leapfrog — Aux distinguishes, see DropReason).
+	EvDrop
+	// EvInstall: a line was installed at a cache level (Hit reports a
+	// prefetch install).
+	EvInstall
+	// EvEvict: a valid line left a cache level.
+	EvEvict
+	// EvCommit: a load retired (at the core: Level carries the recorded
+	// hit level; at the GM: Aux carries the CommitOutcome).
+	EvCommit
+	// EvSUF: the commit filter decided (Hit reports drop, Aux carries
+	// the writeback bits).
+	EvSUF
+
+	// NumEventKinds is the number of event kinds.
+	NumEventKinds = int(EvSUF) + 1
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvIssue:
+		return "issue"
+	case EvAccess:
+		return "access"
+	case EvMerge:
+		return "merge"
+	case EvFill:
+		return "fill"
+	case EvDrop:
+		return "drop"
+	case EvInstall:
+		return "install"
+	case EvEvict:
+		return "evict"
+	case EvCommit:
+		return "commit"
+	case EvSUF:
+		return "suf"
+	}
+	return fmt.Sprintf("event(%d)", uint8(k))
+}
+
+// Aux values for EvDrop events.
+const (
+	// DropQueueFull: a prefetch was lost to queue/MSHR pressure.
+	DropQueueFull uint64 = iota
+	// DropLeapfrog: a GhostMinion MSHR entry was displaced by an older
+	// request.
+	DropLeapfrog
+)
+
+// Aux values for GM EvCommit events (the commit outcome).
+const (
+	// CommitGMHit: the committed line was GM-resident (on-commit write).
+	CommitGMHit uint64 = iota
+	// CommitGMMiss: the line left the GM before commit (re-fetch).
+	CommitGMMiss
+	// CommitSUFDrop: the SUF suppressed the hierarchy update.
+	CommitSUFDrop
+)
+
+// Event is one observed occurrence. It is passed by value so emission
+// never allocates; the meaning of Level, Hit, and Aux depends on Kind
+// (see the EventKind constants).
+type Event struct {
+	Kind  EventKind
+	Site  Site
+	Cycle mem.Cycle
+	// Seq is the program-order timestamp of the triggering instruction
+	// (mem.Request.Timestamp); it is the identity that chains one
+	// request's events across sites. Maintenance traffic carries 0.
+	Seq  uint64
+	Line mem.Line
+	IP   mem.Addr
+	Req  mem.Kind
+	// Level is kind-specific: the served-by / recorded hit level.
+	Level mem.Level
+	// Hit is kind-specific: lookup outcome, prefetch install, SUF drop.
+	Hit bool
+	// Aux is kind-specific: latency (EvFill), drop reason (EvDrop),
+	// commit outcome (EvCommit at the GM), writeback bits (EvSUF).
+	Aux uint64
+}
+
+// Observer receives fine-grained events from the hot paths. A nil
+// Observer field means disabled; every emission site branches on that
+// before constructing the Event.
+type Observer interface {
+	Event(ev Event)
+}
+
+// WindowObserver receives cumulative counter snapshots at cycle-window
+// boundaries (every N retired instructions). The driver (internal/sim)
+// assembles the Sample; consumers derive per-interval rates from
+// consecutive snapshots.
+type WindowObserver interface {
+	Window(s Sample)
+}
+
+// Sample is a cumulative counter snapshot taken at a window boundary.
+// All fields count from the start of the measured phase, so consecutive
+// samples difference into per-interval rates.
+type Sample struct {
+	// Cycle and Instructions locate the boundary.
+	Cycle        uint64 `json:"cycle"`
+	Instructions uint64 `json:"instructions"`
+
+	Loads uint64 `json:"loads"`
+	// DemandMisses counts misses at the level the core observes (the GM
+	// on a secure system, L1D otherwise); L2DemandMisses counts the
+	// next level's.
+	DemandMisses   uint64 `json:"demand_misses"`
+	L2DemandMisses uint64 `json:"l2_demand_misses"`
+	// MissLatSum/MissLatCnt accumulate the load-observed miss latency.
+	MissLatSum uint64 `json:"miss_lat_sum"`
+	MissLatCnt uint64 `json:"miss_lat_cnt"`
+
+	// MSHROccupancy is the home level's occupancy integrated over
+	// MSHRCycles cycles; MSHRFullCycles counts saturated cycles.
+	MSHROccupancy  uint64 `json:"mshr_occupancy"`
+	MSHRFullCycles uint64 `json:"mshr_full_cycles"`
+	MSHRCycles     uint64 `json:"mshr_cycles"`
+
+	// Prefetch effectiveness, aggregated from the prefetcher's home
+	// level down (matching Result.PrefAccuracy).
+	PrefIssued uint64 `json:"pref_issued"`
+	PrefFilled uint64 `json:"pref_filled"`
+	PrefUseful uint64 `json:"pref_useful"`
+	PrefLate   uint64 `json:"pref_late"`
+
+	// Secure-system commit path.
+	CommitGMHits   uint64 `json:"commit_gm_hits"`
+	CommitGMMisses uint64 `json:"commit_gm_misses"`
+	SUFDrops       uint64 `json:"suf_drops"`
+
+	DRAMReads uint64 `json:"dram_reads"`
+}
+
+// Multi fans events out to several observers (nil entries are skipped).
+type Multi []Observer
+
+// Event implements Observer.
+func (m Multi) Event(ev Event) {
+	for _, o := range m {
+		if o != nil {
+			o.Event(ev)
+		}
+	}
+}
+
+// Fanout returns the cheapest observer equivalent to attaching all of
+// obs: nil for none, the observer itself for one, a Multi otherwise.
+func Fanout(obs ...Observer) Observer {
+	var live Multi
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}

@@ -1,0 +1,282 @@
+package probe
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"secpref/internal/mem"
+)
+
+func TestSamplerDerivesIntervalRates(t *testing.T) {
+	s := NewIntervalSampler(4)
+	s.Window(Sample{Cycle: 1000, Instructions: 500, DemandMisses: 10, PrefFilled: 4, PrefUseful: 2, MSHROccupancy: 2000, MSHRCycles: 1000})
+	s.Window(Sample{Cycle: 3000, Instructions: 1500, DemandMisses: 30, PrefFilled: 8, PrefUseful: 8, MSHROccupancy: 6000, MSHRCycles: 3000})
+	rows := s.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("rows %d, want 2", len(rows))
+	}
+	if rows[0].IPC != 0.5 || rows[1].IPC != 0.5 {
+		t.Errorf("IPC %v %v, want 0.5", rows[0].IPC, rows[1].IPC)
+	}
+	if rows[0].MPKI != 20 {
+		t.Errorf("window 0 MPKI %v, want 20 (10 misses / 500 instrs)", rows[0].MPKI)
+	}
+	if rows[1].MPKI != 20 {
+		t.Errorf("window 1 MPKI %v, want 20 (20 misses / 1000 instrs)", rows[1].MPKI)
+	}
+	if rows[0].PrefAccuracy != 0.5 || rows[1].PrefAccuracy != 1.5 {
+		t.Errorf("accuracy %v %v (deltas, not cumulative)", rows[0].PrefAccuracy, rows[1].PrefAccuracy)
+	}
+	if rows[0].MSHROcc != 2 || rows[1].MSHROcc != 2 {
+		t.Errorf("MSHR occupancy %v %v, want 2", rows[0].MSHROcc, rows[1].MSHROcc)
+	}
+}
+
+func TestSamplerZeroDenominators(t *testing.T) {
+	s := NewIntervalSampler(0)
+	s.Window(Sample{}) // empty window: every rate must be 0, not NaN
+	r := s.Rows()[0]
+	if r.IPC != 0 || r.MPKI != 0 || r.PrefAccuracy != 0 || r.MissLat != 0 || r.CommitGMHitRate != 0 {
+		t.Errorf("zero-denominator row not zeroed: %+v", r)
+	}
+}
+
+func TestSamplerExportsValidJSONAndCSV(t *testing.T) {
+	s := NewIntervalSampler(2)
+	s.Window(Sample{Cycle: 100, Instructions: 50})
+	s.Window(Sample{Cycle: 220, Instructions: 110})
+
+	var jbuf bytes.Buffer
+	if err := s.WriteJSON(&jbuf, "berti/TS/secure+SUF", "bfs-3B"); err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Label     string   `json:"label"`
+		Trace     string   `json:"trace"`
+		Intervals []Row    `json:"intervals"`
+		Samples   []Sample `json:"cumulative"`
+	}
+	if err := json.Unmarshal(jbuf.Bytes(), &env); err != nil {
+		t.Fatalf("JSON round trip: %v", err)
+	}
+	if env.Label == "" || len(env.Intervals) != 2 || len(env.Samples) != 2 {
+		t.Errorf("envelope %+v", env)
+	}
+
+	var cbuf bytes.Buffer
+	if err := s.WriteCSV(&cbuf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(cbuf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines %d, want header + 2 rows:\n%s", len(lines), cbuf.String())
+	}
+	if got := len(strings.Split(lines[0], ",")); got != len(csvHeader) {
+		t.Errorf("CSV header has %d columns, want %d", got, len(csvHeader))
+	}
+	for _, row := range lines[1:] {
+		if got := len(strings.Split(row, ",")); got != len(csvHeader) {
+			t.Errorf("CSV row has %d columns, want %d: %s", got, len(csvHeader), row)
+		}
+	}
+}
+
+func TestTracerSamplesAndWraps(t *testing.T) {
+	tr := NewTracer(2, 64)
+	for seq := uint64(0); seq < 10; seq++ {
+		tr.Event(Event{Kind: EvIssue, Site: SiteCore, Seq: seq, Cycle: mem.Cycle(seq)})
+	}
+	// Seqs 2,4,6,8 recorded; 0 (no identity) and odd seqs skipped.
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("recorded %d events, want 4", len(evs))
+	}
+	for _, ev := range evs {
+		if ev.Seq == 0 || ev.Seq%2 != 0 {
+			t.Errorf("unsampled seq %d recorded", ev.Seq)
+		}
+	}
+
+	// Overflow: the ring keeps the newest events and counts drops.
+	small := NewTracer(1, 64)
+	for seq := uint64(1); seq <= 100; seq++ {
+		small.Event(Event{Kind: EvIssue, Site: SiteCore, Seq: seq})
+	}
+	evs = small.Events()
+	if len(evs) != 64 {
+		t.Fatalf("ring holds %d, want 64", len(evs))
+	}
+	if evs[0].Seq != 37 || evs[63].Seq != 100 {
+		t.Errorf("ring window [%d,%d], want [37,100]", evs[0].Seq, evs[63].Seq)
+	}
+	if small.Dropped() != 36 {
+		t.Errorf("dropped %d, want 36", small.Dropped())
+	}
+}
+
+func TestTracerSteadyStateZeroAlloc(t *testing.T) {
+	tr := NewTracer(1, 256)
+	seq := uint64(1)
+	step := func() {
+		tr.Event(Event{Kind: EvAccess, Site: SiteL1D, Seq: seq, Line: 0x40, Cycle: mem.Cycle(seq)})
+		seq++
+	}
+	for i := 0; i < 512; i++ {
+		step() // fill the ring and enter overwrite mode
+	}
+	if avg := testing.AllocsPerRun(200, step); avg != 0 {
+		t.Errorf("Tracer.Event allocates %.1f objects/op in steady state, want 0", avg)
+	}
+}
+
+func TestTracerChromeExport(t *testing.T) {
+	tr := NewTracer(1, 256)
+	tr.Event(Event{Kind: EvIssue, Site: SiteCore, Seq: 4, Line: 0x80, Cycle: 10})
+	tr.Event(Event{Kind: EvAccess, Site: SiteGM, Seq: 4, Line: 0x80, Cycle: 11, Hit: false})
+	tr.Event(Event{Kind: EvAccess, Site: SiteL1D, Seq: 4, Line: 0x80, Cycle: 12, Hit: false})
+	tr.Event(Event{Kind: EvAccess, Site: SiteDRAM, Seq: 4, Line: 0x80, Cycle: 60, Hit: true})
+	tr.Event(Event{Kind: EvFill, Site: SiteCore, Seq: 4, Line: 0x80, Cycle: 120, Level: mem.LvlDRAM, Aux: 110})
+	tr.Event(Event{Kind: EvCommit, Site: SiteGM, Seq: 4, Line: 0x80, Cycle: 130, Aux: CommitGMHit})
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf, "unit"); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+			TS    uint64 `json:"ts"`
+			Dur   uint64 `json:"dur"`
+			TID   int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("chrome trace not valid JSON: %v", err)
+	}
+	var span, meta, instants int
+	for _, ev := range out.TraceEvents {
+		switch ev.Phase {
+		case "X":
+			span++
+			if ev.TS != 10 || ev.Dur != 110 {
+				t.Errorf("span ts=%d dur=%d, want 10/110", ev.TS, ev.Dur)
+			}
+		case "M":
+			meta++
+		case "i":
+			instants++
+		}
+	}
+	if span != 1 {
+		t.Errorf("spans %d, want 1 (issue->fill pair)", span)
+	}
+	if meta != NumSites {
+		t.Errorf("thread metadata %d, want %d", meta, NumSites)
+	}
+	if instants != 4 {
+		t.Errorf("instants %d, want 4 (GM/L1D/DRAM accesses + GM commit)", instants)
+	}
+}
+
+func TestFanout(t *testing.T) {
+	if Fanout() != nil || Fanout(nil, nil) != nil {
+		t.Error("empty fanout must be nil (disabled path)")
+	}
+	tr := NewTracer(1, 64)
+	if Fanout(nil, tr) != Observer(tr) {
+		t.Error("single-observer fanout must avoid the Multi indirection")
+	}
+	tr2 := NewTracer(1, 64)
+	m := Fanout(tr, tr2)
+	m.Event(Event{Kind: EvIssue, Site: SiteCore, Seq: 1})
+	if len(tr.Events()) != 1 || len(tr2.Events()) != 1 {
+		t.Error("Multi must fan events to every observer")
+	}
+}
+
+func TestCampaignTelemetry(t *testing.T) {
+	c := NewCampaign(4)
+	c.ExperimentStarted("fig4")
+	c.RunStarted()
+	c.RunDone(20_000, 100_000)
+	c.RunStarted()
+	c.RunFailed()
+	c.ExperimentDone()
+
+	s := c.Snapshot()
+	if s.RunsStarted != 2 || s.RunsDone != 1 || s.RunsFailed != 1 {
+		t.Errorf("run counters %+v", s)
+	}
+	if s.Instructions != 20_000 || s.Cycles != 100_000 {
+		t.Errorf("work counters %+v", s)
+	}
+	if s.CurrentExp != "fig4" || s.ExperimentsDone != 1 || s.ExperimentsPlan != 4 {
+		t.Errorf("experiment counters %+v", s)
+	}
+
+	var buf bytes.Buffer
+	if err := c.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"secpref_runs_completed_total 1",
+		"secpref_instructions_total 20000",
+		"# TYPE secpref_campaign_uptime_seconds gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestTelemetryHandler(t *testing.T) {
+	c := NewCampaign(1)
+	c.RunStarted()
+	c.RunDone(5, 10)
+	h := NewHandler(c)
+
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+
+	if rec := get("/metrics"); rec.Code != 200 || !strings.Contains(rec.Body.String(), "secpref_runs_completed_total 1") {
+		t.Errorf("/metrics: code %d body %q", rec.Code, rec.Body.String())
+	}
+	rec := get("/debug/vars")
+	if rec.Code != 200 {
+		t.Fatalf("/debug/vars: code %d", rec.Code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if _, ok := vars["secpref_campaign"]; !ok {
+		t.Error("/debug/vars missing secpref_campaign")
+	}
+	if rec := get("/debug/pprof/"); rec.Code != 200 {
+		t.Errorf("/debug/pprof/: code %d", rec.Code)
+	}
+}
+
+func TestSiteAndKindStrings(t *testing.T) {
+	if SiteOf(mem.LvlL2) != SiteL2 || SiteOf(mem.LvlL1D) != SiteL1D || SiteOf(mem.LvlDRAM) != SiteDRAM {
+		t.Error("SiteOf mapping wrong")
+	}
+	for s := 0; s < NumSites; s++ {
+		if strings.HasPrefix(Site(s).String(), "site(") {
+			t.Errorf("Site %d has no name", s)
+		}
+	}
+	for k := 0; k < NumEventKinds; k++ {
+		if strings.HasPrefix(EventKind(k).String(), "event(") {
+			t.Errorf("EventKind %d has no name", k)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package probe
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Tracer records sampled request-lifecycle event chains — issue → GM
+// probe → cache levels → DRAM → fill → commit — into a fixed-size ring.
+// Sampling is by program-order sequence number (every Nth load), so a
+// sampled request's whole chain is captured across every site it
+// touches. Steady state allocates nothing: the ring is preallocated and
+// old events are overwritten.
+type Tracer struct {
+	every uint64
+	ring  []Event
+	head  int // next write position
+	count int
+	// dropped counts events overwritten after the ring filled (the
+	// export notes truncation instead of silently presenting a full
+	// history).
+	dropped uint64
+}
+
+// NewTracer builds a tracer sampling one in every loads (every < 1 is
+// treated as 1: trace everything) with a ring of capacity events.
+func NewTracer(every uint64, capacity int) *Tracer {
+	if every < 1 {
+		every = 1
+	}
+	if capacity < 64 {
+		capacity = 64
+	}
+	return &Tracer{every: every, ring: make([]Event, capacity)}
+}
+
+// Event implements Observer: sampled events enter the ring. Events
+// without a program-order identity (Seq 0: prefetches, writebacks,
+// maintenance traffic) are not part of any load's chain and are
+// skipped.
+func (t *Tracer) Event(ev Event) {
+	if ev.Seq == 0 || ev.Seq%t.every != 0 {
+		return
+	}
+	if t.count == len(t.ring) {
+		t.dropped++
+	} else {
+		t.count++
+	}
+	t.ring[t.head] = ev
+	t.head++
+	if t.head == len(t.ring) {
+		t.head = 0
+	}
+}
+
+// Events returns the recorded events oldest-first.
+func (t *Tracer) Events() []Event {
+	out := make([]Event, 0, t.count)
+	start := t.head - t.count
+	if start < 0 {
+		start += len(t.ring)
+	}
+	for i := 0; i < t.count; i++ {
+		out = append(out, t.ring[(start+i)%len(t.ring)])
+	}
+	return out
+}
+
+// Dropped returns how many events were overwritten after the ring
+// filled.
+func (t *Tracer) Dropped() uint64 { return t.dropped }
+
+// chromeEvent is one entry of the Chrome trace-event JSON format, which
+// Perfetto and chrome://tracing both load. Timestamps are in
+// "microseconds"; the tracer maps one core cycle to one microsecond.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    uint64         `json:"ts"`
+	Dur   uint64         `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteChromeTrace exports the ring as Chrome trace-event JSON: one
+// lane (tid) per site, an instant event per recorded occurrence, and a
+// duration span per sampled load from its core issue to its core fill,
+// so the timeline shows each load's walk down the hierarchy.
+func (t *Tracer) WriteChromeTrace(w io.Writer, label string) error {
+	evs := t.Events()
+	out := chromeTrace{
+		DisplayTimeUnit: "ns",
+		OtherData:       map[string]any{"label": label, "time_unit": "1 core cycle = 1us", "dropped_events": t.dropped},
+		TraceEvents:     make([]chromeEvent, 0, len(evs)+NumSites),
+	}
+	for s := 0; s < NumSites; s++ {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: 0, TID: s,
+			Args: map[string]any{"name": Site(s).String()},
+		})
+	}
+	issued := make(map[uint64]Event, 64) // seq -> core issue event
+	for _, ev := range evs {
+		if ev.Kind == EvIssue && ev.Site == SiteCore {
+			// Represented by the X span emitted when the fill pairs up
+			// (an unfilled load at ring cutoff leaves no span).
+			issued[ev.Seq] = ev
+			continue
+		}
+		if ev.Kind == EvFill && ev.Site == SiteCore {
+			if is, ok := issued[ev.Seq]; ok {
+				dur := uint64(ev.Cycle - is.Cycle)
+				if dur == 0 {
+					dur = 1
+				}
+				out.TraceEvents = append(out.TraceEvents, chromeEvent{
+					Name: fmt.Sprintf("load seq=%d", ev.Seq), Phase: "X",
+					TS: uint64(is.Cycle), Dur: dur, PID: 0, TID: int(SiteCore),
+					Args: map[string]any{"line": fmt.Sprintf("%#x", uint64(ev.Line)), "served_by": ev.Level.String()},
+				})
+				delete(issued, ev.Seq)
+				continue
+			}
+		}
+		ce := chromeEvent{
+			Name:  fmt.Sprintf("%s %s", ev.Site, ev.Kind),
+			Phase: "i", Scope: "t",
+			TS: uint64(ev.Cycle), PID: 0, TID: int(ev.Site),
+			Args: map[string]any{
+				"seq":  ev.Seq,
+				"line": fmt.Sprintf("%#x", uint64(ev.Line)),
+				"kind": ev.Req.String(),
+			},
+		}
+		switch ev.Kind {
+		case EvAccess:
+			ce.Args["hit"] = ev.Hit
+		case EvFill:
+			ce.Args["latency"] = ev.Aux
+		case EvCommit:
+			ce.Args["hit_level"] = ev.Level.String()
+			if ev.Site == SiteGM {
+				ce.Args["outcome"] = commitOutcomeName(ev.Aux)
+			}
+		case EvDrop:
+			ce.Args["reason"] = dropReasonName(ev.Aux)
+		case EvSUF:
+			ce.Args["drop"] = ev.Hit
+			ce.Args["wb_bits"] = ev.Aux
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+func commitOutcomeName(a uint64) string {
+	switch a {
+	case CommitGMHit:
+		return "gm-hit"
+	case CommitGMMiss:
+		return "gm-miss"
+	case CommitSUFDrop:
+		return "suf-drop"
+	}
+	return fmt.Sprintf("outcome(%d)", a)
+}
+
+func dropReasonName(a uint64) string {
+	switch a {
+	case DropQueueFull:
+		return "queue-full"
+	case DropLeapfrog:
+		return "leapfrog"
+	}
+	return fmt.Sprintf("reason(%d)", a)
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"secpref/internal/mem"
+	"secpref/internal/probe"
 )
 
 // TestPoolSoakNoLeak drives a memory-bound, prefetch-heavy workload long
@@ -13,6 +14,17 @@ import (
 // into the wrong pool, News would track Gets instead of the bounded
 // in-flight population.
 func TestPoolSoakNoLeak(t *testing.T) {
+	poolSoak(t, false)
+}
+
+// TestPoolSoakNoLeakProbed repeats the soak with a tracer and interval
+// sampler attached: observers are read-only and retain no requests, so
+// the pool's steady-state plateau must be unaffected.
+func TestPoolSoakNoLeakProbed(t *testing.T) {
+	poolSoak(t, true)
+}
+
+func poolSoak(t *testing.T, probed bool) {
 	if testing.Short() {
 		t.Skip("simulation-heavy")
 	}
@@ -26,6 +38,10 @@ func TestPoolSoakNoLeak(t *testing.T) {
 	m, err := NewMachine(cfg, smokeTrace(t, "bfs-3B", 50_000))
 	if err != nil {
 		t.Fatal(err)
+	}
+	if probed {
+		m.attachObserver(probe.NewTracer(4, 4096))
+		m.armWindows(probe.NewIntervalSampler(64), 1000)
 	}
 	maxCycles := mem.Cycle(1000 * cfg.MaxInstrs)
 

@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"fmt"
+
+	"secpref/internal/mem"
+	"secpref/internal/probe"
+	"secpref/internal/stats"
+	"secpref/internal/trace"
+)
+
+// Probes configures the observability attachments for one run. The zero
+// value attaches nothing: every component's observer field stays nil and
+// the hot paths pay only their branch-on-nil guard (RunProbed with zero
+// Probes is exactly Run).
+//
+// Probes deliberately lives outside Config: observers are runtime
+// attachments, not part of the simulated system's identity, so Config
+// stays comparable/serializable and results from probed and unprobed
+// runs of the same Config are directly comparable (and bit-identical —
+// see TestRunProbedEquivalence).
+type Probes struct {
+	// Observer receives fine-grained hot-path events from every site
+	// (core, GM, cache levels, DRAM). Use probe.Fanout to attach several.
+	Observer probe.Observer
+	// Window receives cumulative counter snapshots at instruction-window
+	// boundaries of the measured phase (warmup is never sampled), plus
+	// one final snapshot at run end.
+	Window probe.WindowObserver
+	// WindowInstrs is the sampling interval in retired instructions;
+	// 0 means DefaultWindowInstrs.
+	WindowInstrs uint64
+}
+
+// DefaultWindowInstrs is the sampling interval when Probes.WindowInstrs
+// is zero.
+const DefaultWindowInstrs = 1000
+
+// attachObserver points every component's observer field at o.
+func (m *Machine) attachObserver(o probe.Observer) {
+	if o == nil {
+		return
+	}
+	m.core.Obs = o
+	if m.gm != nil {
+		m.gm.Obs = o
+	}
+	m.l1d.Obs = o
+	m.l2.Obs = o
+	m.llc.Obs = o
+	m.mem.Obs = o
+}
+
+// armWindows starts interval sampling. Called after warmup's stats
+// reset, so samples count from the start of the measured phase.
+func (m *Machine) armWindows(w probe.WindowObserver, every uint64) {
+	if w == nil {
+		return
+	}
+	if every == 0 {
+		every = DefaultWindowInstrs
+	}
+	m.winObs = w
+	m.winEvery = every
+	m.winNext = m.core.Stats.Instructions + every
+	m.winStart = m.now
+}
+
+// sampleWindow assembles the cumulative counter snapshot and hands it to
+// the window observer. All counters are measured-phase cumulative
+// (resetStats zeroed them at the warmup boundary), so consecutive
+// samples difference into per-interval rates.
+func (m *Machine) sampleWindow() {
+	// The first level the core observes: the GM on a secure system.
+	first := &m.l1d.Stats
+	demandMisses := m.l1d.Stats.DemandMisses()
+	if m.gm != nil {
+		first = &m.gm.Stats
+		demandMisses = m.gm.Stats.Misses[mem.KindLoad]
+	}
+	l2Misses := m.l2.Stats.DemandMisses() + m.l2.Stats.Misses[mem.KindRefetch]
+	if m.cfg.Secure {
+		l2Misses = m.l2.Stats.SpecMisses
+	}
+	home := m.homeCache()
+	s := probe.Sample{
+		Cycle:          uint64(m.now - m.winStart),
+		Instructions:   m.core.Stats.Instructions,
+		Loads:          m.core.Stats.Loads,
+		DemandMisses:   demandMisses,
+		L2DemandMisses: l2Misses,
+		MissLatSum:     first.DemandMissLatSum,
+		MissLatCnt:     first.DemandMissLatCnt,
+		MSHROccupancy:  home.Stats.MSHROccupancy,
+		MSHRFullCycles: home.Stats.MSHRFullCycles,
+		MSHRCycles:     home.Stats.Cycles,
+		PrefIssued:     home.Stats.PrefIssued,
+		CommitGMHits:   m.core.Stats.CommitGMHits,
+		CommitGMMisses: m.core.Stats.CommitGMMisses,
+		SUFDrops:       m.core.Stats.SUFDrops,
+		DRAMReads:      m.mem.Stats.Reads,
+	}
+	// Prefetch fills aggregate from the home level down, matching
+	// Result.PrefAccuracy (prefetchers legitimately fill deeper).
+	levels := [...]*stats.CacheStats{&m.l1d.Stats, &m.l2.Stats, &m.llc.Stats}
+	for _, cs := range levels[int(home.Level()):] {
+		s.PrefFilled += cs.PrefFilled
+		s.PrefUseful += cs.PrefUseful
+		s.PrefLate += cs.PrefLate
+	}
+	if m.gm != nil {
+		s.PrefLate += m.gm.Stats.PrefLate
+	}
+	m.winObs.Window(s)
+	m.winLast = s.Instructions
+}
+
+// flushWindow emits the final (usually partial) window at run end.
+func (m *Machine) flushWindow() {
+	if m.winObs != nil && m.core.Stats.Instructions > m.winLast {
+		m.sampleWindow()
+	}
+}
+
+// RunProbed executes the configured simulation with observers attached.
+// Observers see warmup-phase events (the tracer's ring keeps the newest
+// anyway); window sampling covers only the measured phase. Attaching
+// probes never changes the simulated outcome: observers are read-only
+// and nothing is read back from them.
+func RunProbed(cfg Config, src trace.Source, p Probes) (*Result, error) {
+	m, err := NewMachine(cfg, src)
+	if err != nil {
+		return nil, err
+	}
+	m.attachObserver(p.Observer)
+	maxCycles := cfg.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = mem.Cycle(1000 * (cfg.WarmupInstrs + cfg.MaxInstrs))
+	}
+
+	// Warmup phase.
+	if cfg.WarmupInstrs > 0 {
+		if err := m.runUntil(uint64(cfg.WarmupInstrs), maxCycles); err != nil {
+			return nil, fmt.Errorf("%w (warmup, trace %s, %s)", err, src.Name(), cfg.Label())
+		}
+		m.resetStats()
+	}
+	m.armWindows(p.Window, p.WindowInstrs)
+
+	startCycle := m.now
+	if err := m.runUntil(uint64(cfg.MaxInstrs), maxCycles); err != nil {
+		return nil, fmt.Errorf("%w (trace %s, %s)", err, src.Name(), cfg.Label())
+	}
+	m.flushWindow()
+	if m.classifier != nil {
+		m.classifier.Finalize()
+	}
+	return m.result(src.Name(), m.now-startCycle), nil
+}

@@ -63,6 +63,53 @@ func TestPrefAccuracyAggregatesDeeperLevels(t *testing.T) {
 	}
 }
 
+func TestHomeLevelMPKI(t *testing.T) {
+	r := &Result{Instructions: 10_000}
+	r.L1D.Misses[mem.KindLoad] = 400
+	r.L1D.Misses[mem.KindRFO] = 100
+	r.GM.Misses[mem.KindLoad] = 900
+	r.L2.Misses[mem.KindLoad] = 200
+	r.L2.Misses[mem.KindRFO] = 50
+	r.L2.Misses[mem.KindRefetch] = 30
+	r.L2.SpecMisses = 170
+
+	if got := r.HomeLevelMPKI(mem.LvlL1D); got != 50 {
+		t.Errorf("non-secure L1D MPKI %f, want 50 (load+RFO misses)", got)
+	}
+	if got := r.HomeLevelMPKI(mem.LvlL2); got != 28 {
+		t.Errorf("non-secure L2 MPKI %f, want 28 (demand + refetch)", got)
+	}
+	r.Config.Secure = true
+	if got := r.HomeLevelMPKI(mem.LvlL1D); got != 90 {
+		t.Errorf("secure L1D MPKI %f, want 90 (the GM observes the loads)", got)
+	}
+	if got := r.HomeLevelMPKI(mem.LvlL2); got != 17 {
+		t.Errorf("secure L2 MPKI %f, want 17 (speculative-probe misses)", got)
+	}
+}
+
+func TestTrafficAPKI(t *testing.T) {
+	r := &Result{Instructions: 2000}
+	r.L2.Accesses[mem.KindLoad] = 300
+	r.L2.Accesses[mem.KindPrefetch] = 100
+	r.L2.SpecAccesses = 200
+	if got := r.TrafficAPKI(mem.LvlL2); got != 300 {
+		t.Errorf("L2 traffic APKI %f, want 300 (all kinds + spec probes)", got)
+	}
+	if got := r.TrafficAPKI(mem.LvlLLC); got != 0 {
+		t.Errorf("idle LLC traffic APKI %f, want 0", got)
+	}
+}
+
+func TestPerKIZeroInstructions(t *testing.T) {
+	if got := stats.PerKI(500, 0); got != 0 {
+		t.Errorf("PerKI(500, 0) = %f, want 0 (no division by zero)", got)
+	}
+	if got := stats.PerKI(500, 10_000); got != 50 {
+		t.Errorf("PerKI(500, 10k) = %f, want 50", got)
+	}
+}
+
 func TestSpeedupGuards(t *testing.T) {
 	r := &Result{IPC: 2}
 	if r.Speedup(nil) != 0 || r.Speedup(&Result{}) != 0 {

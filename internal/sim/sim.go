@@ -13,6 +13,7 @@ import (
 	"secpref/internal/mem"
 	"secpref/internal/prefetch"
 	"secpref/internal/prefetch/berti"
+	"secpref/internal/probe"
 	"secpref/internal/stats"
 	"secpref/internal/tlb"
 	"secpref/internal/trace"
@@ -47,6 +48,14 @@ type Machine struct {
 	monitor    *seccore.LatenessMonitor
 	xlq        *seccore.XLQ
 	suf        *seccore.SUF
+
+	// Interval sampling state (armWindows / sampleWindow in probes.go);
+	// winObs nil means disabled and the run loop pays one nil check.
+	winObs   probe.WindowObserver
+	winEvery uint64
+	winNext  uint64
+	winLast  uint64
+	winStart mem.Cycle
 
 	now mem.Cycle
 }
@@ -464,35 +473,10 @@ func (m *Machine) resetStats() {
 	}
 }
 
-// Run executes the configured simulation to completion.
+// Run executes the configured simulation to completion. It is
+// RunProbed with nothing attached (see probes.go).
 func Run(cfg Config, src trace.Source) (*Result, error) {
-	m, err := NewMachine(cfg, src)
-	if err != nil {
-		return nil, err
-	}
-	maxCycles := cfg.MaxCycles
-	if maxCycles == 0 {
-		maxCycles = mem.Cycle(1000 * (cfg.WarmupInstrs + cfg.MaxInstrs))
-	}
-
-	// Warmup phase.
-	if cfg.WarmupInstrs > 0 {
-		if err := m.runUntil(uint64(cfg.WarmupInstrs), maxCycles); err != nil {
-			return nil, fmt.Errorf("%w (warmup, trace %s, %s)", err, src.Name(), cfg.Label())
-		}
-		m.resetStats()
-	}
-	warmupDone := m.core.Stats.Instructions // zero after reset, or total if no warmup
-	_ = warmupDone
-
-	startCycle := m.now
-	if err := m.runUntil(uint64(cfg.MaxInstrs), maxCycles); err != nil {
-		return nil, fmt.Errorf("%w (trace %s, %s)", err, src.Name(), cfg.Label())
-	}
-	if m.classifier != nil {
-		m.classifier.Finalize()
-	}
-	return m.result(src.Name(), m.now-startCycle), nil
+	return RunProbed(cfg, src, Probes{})
 }
 
 // wedgeWindow is how many cycles without a retirement the run loop
@@ -524,6 +508,12 @@ func (m *Machine) runUntil(n uint64, maxCycles mem.Cycle) error {
 			}
 		}
 		m.step()
+		if m.winObs != nil && m.core.Stats.Instructions >= m.winNext {
+			m.sampleWindow()
+			for m.core.Stats.Instructions >= m.winNext {
+				m.winNext += m.winEvery
+			}
+		}
 		if m.core.Stats.Instructions != lastCount {
 			lastCount = m.core.Stats.Instructions
 			lastProgress = m.now

@@ -109,6 +109,28 @@ func RunTrace(cfg Config, t *Trace) (*Result, error) {
 	return sim.Run(cfg, trace.NewSource(t))
 }
 
+// Probes configures observability attachments for a probed run: a
+// fine-grained event observer (e.g. a request-lifecycle tracer) and an
+// interval window observer (e.g. a time-series sampler). Attached
+// observers never change the simulated outcome. See internal/probe and
+// docs/observability.md.
+type Probes = sim.Probes
+
+// RunProbed simulates the named workload with observers attached.
+func RunProbed(cfg Config, traceName string, p WorkloadParams, pr Probes) (*Result, error) {
+	tr, err := workload.Get(traceName, p)
+	if err != nil {
+		return nil, err
+	}
+	return sim.RunProbed(cfg, trace.NewSource(tr), pr)
+}
+
+// RunTraceProbed simulates a caller-provided trace with observers
+// attached.
+func RunTraceProbed(cfg Config, t *Trace, pr Probes) (*Result, error) {
+	return sim.RunProbed(cfg, trace.NewSource(t), pr)
+}
+
 // Trace is an in-memory instruction trace.
 type Trace = trace.Trace
 
