@@ -10,7 +10,8 @@
 // Usage:
 //
 //	bench                     # print measurement as JSON to stdout
-//	bench -runs 5             # report the best of 5 runs
+//	bench -runs 5             # 5 interleaved plain/probed pairs; best
+//	                          # of each, median per-pair probe overhead
 //	bench -update FILE        # rewrite FILE's "after" section in place
 //	bench -check FILE -tol 25 # exit 1 if >tol% slower than FILE's "after"
 package main
@@ -21,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"secpref/internal/probe"
@@ -95,22 +97,68 @@ func measureOnce(probed bool) (Measurement, error) {
 	}, nil
 }
 
-func measure(runs int, probed bool) (Measurement, error) {
-	// One untimed warmup run (page cache, branch predictors, heap shape).
-	if _, err := measureOnce(probed); err != nil {
-		return Measurement{}, err
+// median returns the middle value of xs (mean of the two middle values
+// for even lengths). xs is not modified.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
 	}
-	var best Measurement
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+// measure runs plain and probed back to back `runs` times and reports
+// the best of each plus the median per-pair probe overhead. Pairing the
+// two within each iteration cancels the drift (page cache, frequency
+// scaling, heap shape) that made two sequential best-of-N batches
+// report a negative overhead: the second batch always ran warmer.
+func measure(runs int) (plain, probed Measurement, overheadPct float64, err error) {
+	// One untimed warmup pair (page cache, branch predictors, heap shape).
+	if _, err = measureOnce(false); err != nil {
+		return
+	}
+	if _, err = measureOnce(true); err != nil {
+		return
+	}
+	deltas := make([]float64, 0, runs)
 	for i := 0; i < runs; i++ {
-		m, err := measureOnce(probed)
-		if err != nil {
-			return Measurement{}, err
+		var m, p Measurement
+		if m, err = measureOnce(false); err != nil {
+			return
 		}
-		if i == 0 || m.NsPerOp < best.NsPerOp {
-			best = m
+		if p, err = measureOnce(true); err != nil {
+			return
+		}
+		deltas = append(deltas, (p.NsPerOp/m.NsPerOp-1)*100)
+		// Best time, minimum allocations: the sim's allocation count is
+		// deterministic, and MemStats noise (background runtime goroutines)
+		// only ever inflates it.
+		if i == 0 {
+			plain, probed = m, p
+		}
+		if m.NsPerOp < plain.NsPerOp {
+			a := plain.AllocsPerOp
+			plain = m
+			plain.AllocsPerOp = a
+		}
+		if m.AllocsPerOp < plain.AllocsPerOp {
+			plain.AllocsPerOp = m.AllocsPerOp
+		}
+		if p.NsPerOp < probed.NsPerOp {
+			a := probed.AllocsPerOp
+			probed = p
+			probed.AllocsPerOp = a
+		}
+		if p.AllocsPerOp < probed.AllocsPerOp {
+			probed.AllocsPerOp = p.AllocsPerOp
 		}
 	}
-	return best, nil
+	return plain, probed, median(deltas), nil
 }
 
 func main() {
@@ -124,12 +172,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	m, err := measure(*runs, false)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
-		os.Exit(1)
-	}
-	mp, err := measure(*runs, true)
+	m, mp, overhead, err := measure(*runs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
@@ -151,7 +194,7 @@ func main() {
 		if b.Before.NsPerOp > 0 {
 			b.Speedup = b.Before.NsPerOp / b.After.NsPerOp
 		}
-		b.ProbeOverheadPct = (mp.NsPerOp/m.NsPerOp - 1) * 100
+		b.ProbeOverheadPct = overhead
 		out, _ := json.MarshalIndent(&b, "", "  ")
 		if err := os.WriteFile(*update, append(out, '\n'), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
@@ -186,9 +229,10 @@ func main() {
 		}
 	default:
 		out, _ := json.MarshalIndent(&struct {
-			Plain  Measurement `json:"plain"`
-			Probed Measurement `json:"probed"`
-		}{m, mp}, "", "  ")
+			Plain            Measurement `json:"plain"`
+			Probed           Measurement `json:"probed"`
+			ProbeOverheadPct float64     `json:"probe_overhead_pct"`
+		}{m, mp, overhead}, "", "  ")
 		fmt.Println(string(out))
 	}
 }

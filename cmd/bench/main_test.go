@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{7}, 7},
+		{"odd", []float64{9, 1, 5}, 5},
+		{"even", []float64{4, 1, 3, 2}, 2.5},
+		{"outlier", []float64{2, 2, 2, 100}, 2},
+		{"negative", []float64{-5, 3, 1}, 1},
+	}
+	for _, c := range cases {
+		if got := median(c.xs); got != c.want {
+			t.Errorf("%s: median(%v) = %v, want %v", c.name, c.xs, got, c.want)
+		}
+	}
+	// The input must not be reordered in place.
+	xs := []float64{3, 1, 2}
+	median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("median mutated its input: %v", xs)
+	}
+}

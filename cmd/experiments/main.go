@@ -3,7 +3,7 @@
 // Usage:
 //
 //	experiments [-quick] [-instrs N] [-warmup N] [-mixes N] [-traces a,b,c]
-//	            [-timeseries DIR] [-http ADDR]
+//	            [-timeseries DIR] [-http ADDR] [-leakage-gate]
 //	            [-fig id | -table n | -all]
 //
 // Each experiment prints the same rows/series the paper reports (see
@@ -64,6 +64,7 @@ func main() {
 		asJSON     = flag.Bool("json", false, "emit tables as JSON instead of text")
 		timeseries = flag.String("timeseries", "", "export per-run interval time series and lifecycle traces into this directory")
 		httpAddr   = flag.String("http", "", "serve live campaign telemetry (/metrics, /debug/vars, /debug/pprof) on this address")
+		leakGate   = flag.Bool("leakage-gate", false, "fail unless the secure configuration audits zero tainted survivors and zero speculative trains (CI gate)")
 	)
 	flag.Parse()
 
@@ -100,12 +101,15 @@ func main() {
 	case *figID != "":
 		id := *figID
 		if !strings.HasPrefix(id, "fig") && !strings.HasPrefix(id, "suf") &&
-			!strings.HasPrefix(id, "smt") && !strings.HasPrefix(id, "ablate") && !strings.HasPrefix(id, "tsb") {
+			!strings.HasPrefix(id, "smt") && !strings.HasPrefix(id, "ablate") && !strings.HasPrefix(id, "tsb") &&
+			!strings.HasPrefix(id, "leakage") {
 			id = "fig" + id
 		}
 		ids = []string{id}
 	case *tabID != "":
 		ids = []string{"table" + *tabID}
+	case *leakGate:
+		// Gate-only invocation: no experiment tables, just the audit.
 	case *timeseries != "":
 		// A time-series export with no experiment selected defaults to the
 		// miss-latency study — the figure its per-window metrics track.
@@ -155,6 +159,14 @@ func main() {
 			summary += fmt.Sprintf(", ETA %s", eta.Round(time.Second))
 		}
 		fmt.Fprintln(os.Stderr, summary)
+	}
+	if *leakGate {
+		start := time.Now()
+		if err := r.SecureLeakageGate(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: leakage gate passed in %.1fs (secure config audits clean; non-secure channels detected)\n", time.Since(start).Seconds())
 	}
 	if *timeseries != "" {
 		fmt.Fprintf(os.Stderr, "experiments: time series and lifecycle traces in %s\n", *timeseries)

@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"secpref"
+	"secpref/internal/leakage"
 	"secpref/internal/mem"
 	"secpref/internal/probe"
 	"secpref/internal/trace"
@@ -38,6 +39,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "workload seed")
 		list      = flag.Bool("list", false, "list available traces and exit")
 		tsDir     = flag.String("timeseries", "", "export interval time series and lifecycle trace into this directory")
+		leak      = flag.Bool("leakage", false, "attach the leakage auditor and print the taint scoreboard after the run")
 	)
 	flag.Parse()
 
@@ -78,6 +80,11 @@ func main() {
 		sampler = probe.NewIntervalSampler(*instrs/1000 + 2)
 		tracer = probe.NewTracer(16, 1<<15)
 		probes = secpref.Probes{Observer: tracer, Window: sampler}
+	}
+	var auditor *leakage.Auditor
+	if *leak {
+		auditor = leakage.NewAuditor()
+		probes.Observer = probe.Fanout(probes.Observer, auditor)
 	}
 
 	var res *secpref.Result
@@ -133,6 +140,10 @@ func main() {
 		fmt.Printf("SUF drops:        %d (accuracy %.2f%%)\n", res.Core.SUFDrops, res.SUFAccuracy()*100)
 	}
 	fmt.Printf("dynamic energy:   %.2f uJ\n", res.Energy.Total()/1e6)
+	if auditor != nil {
+		sb := auditor.Scoreboard()
+		fmt.Printf("leakage audit:    %s\n", sb.String())
+	}
 }
 
 // exportTimeseries writes <trace>__<label>.series.json, .series.csv,

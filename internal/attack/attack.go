@@ -20,6 +20,7 @@ import (
 	"secpref/internal/ghostminion"
 	"secpref/internal/mem"
 	"secpref/internal/prefetch"
+	"secpref/internal/probe"
 	"secpref/internal/stats"
 
 	// Prefetcher registration.
@@ -38,6 +39,12 @@ type Config struct {
 	// (the secure discipline); otherwise it trains on every access,
 	// including transient ones.
 	OnCommitPrefetch bool
+	// Obs, if non-nil, observes the run: it is attached to every
+	// hierarchy component, and the harness itself emits the core-side
+	// lifecycle (EvIssue/EvFill/EvCommit), prefetcher training
+	// (EvTrain), and — on the non-secure system, which has no GM to
+	// announce it — the squash (EvSquash).
+	Obs probe.Observer
 }
 
 // System is a memory hierarchy under attack-harness control.
@@ -49,6 +56,7 @@ type System struct {
 	mem *dram.DRAM
 	gm  *ghostminion.GM
 	pf  prefetch.Prefetcher
+	obs probe.Observer
 	now mem.Cycle
 	seq uint64
 	cs  stats.CoreStats
@@ -56,13 +64,20 @@ type System struct {
 
 // NewSystem builds the hierarchy per cfg.
 func NewSystem(cfg Config) (*System, error) {
-	s := &System{cfg: cfg}
+	s := &System{cfg: cfg, obs: cfg.Obs}
 	s.mem = dram.New(dram.DefaultConfig())
 	s.llc = cache.New(cache.LLCConfig(1), s.mem)
 	s.l2 = cache.New(cache.L2Config(), s.llc)
 	s.l1d = cache.New(cache.L1DConfig(), s.l2)
+	if s.obs != nil {
+		s.mem.Obs = s.obs
+		s.llc.Obs = s.obs
+		s.l2.Obs = s.obs
+		s.l1d.Obs = s.obs
+	}
 	if cfg.Secure {
 		s.gm = ghostminion.New(ghostminion.DefaultConfig(), s.l1d, nil)
+		s.gm.Obs = s.obs
 	}
 	if cfg.Prefetcher != "" {
 		pf, err := prefetch.New(cfg.Prefetcher, func(line mem.Line, ip mem.Addr, fill mem.Level) bool {
@@ -100,10 +115,18 @@ func (s *System) run(fn func() bool) bool {
 }
 
 // load issues one load (speculative path in the secure system) and
-// waits for data, returning the observed latency.
-func (s *System) load(line mem.Line, ip mem.Addr) mem.Cycle {
+// waits for data, returning the observed latency. spec marks the load
+// as wrong-path work that will later be squashed (victim transient
+// loads); committed attacker loads pass false.
+func (s *System) load(line mem.Line, ip mem.Addr, spec bool) mem.Cycle {
 	start := s.now
 	s.seq++
+	if s.obs != nil {
+		s.obs.Event(probe.Event{
+			Kind: probe.EvIssue, Site: probe.SiteCore, Cycle: s.now,
+			Seq: s.seq, Line: line, IP: ip, Req: mem.KindLoad, Spec: spec,
+		})
+	}
 	done := false
 	r := &mem.Request{
 		Line:      line,
@@ -124,20 +147,40 @@ func (s *System) load(line mem.Line, ip mem.Addr) mem.Cycle {
 		}
 		return issued && done
 	})
-	return s.now - start
+	lat := s.now - start
+	if s.obs != nil {
+		s.obs.Event(probe.Event{
+			Kind: probe.EvFill, Site: probe.SiteCore, Cycle: s.now,
+			Seq: r.Timestamp, Line: line, IP: ip, Req: mem.KindLoad,
+			Level: r.ServedBy, Aux: uint64(lat), Spec: spec,
+		})
+	}
+	return lat
 }
 
 // CommittedLoad performs an architectural load: access, then commit
 // (training an on-commit prefetcher and, in the secure system, running
 // the GhostMinion commit engine).
 func (s *System) CommittedLoad(line mem.Line, ip mem.Addr) mem.Cycle {
-	lat := s.load(line, ip)
+	lat := s.load(line, ip, false)
+	if s.obs != nil {
+		s.obs.Event(probe.Event{
+			Kind: probe.EvCommit, Site: probe.SiteCore, Cycle: s.now,
+			Seq: s.seq, Line: line, IP: ip, Req: mem.KindLoad,
+		})
+	}
 	if s.gm != nil {
 		hl := mem.LvlDRAM // conservative full update (no SUF in the harness)
 		s.gm.Commit(line, s.seq, hl, &s.cs)
 	}
 	if s.pf != nil {
 		// Both disciplines train on committed loads.
+		if s.obs != nil {
+			s.obs.Event(probe.Event{
+				Kind: probe.EvTrain, Site: probe.SitePF, Cycle: s.now,
+				Seq: s.seq, Line: line, IP: ip, Req: mem.KindLoad,
+			})
+		}
 		s.pf.Train(prefetch.Event{Line: line, IP: ip, Cycle: s.now, AccessCycle: s.now})
 	}
 	s.drain(64)
@@ -152,15 +195,28 @@ func (s *System) CommittedLoad(line mem.Line, ip mem.Addr) mem.Cycle {
 func (s *System) TransientLoads(lines []mem.Line, ip mem.Addr) {
 	startSeq := s.seq + 1
 	for _, l := range lines {
-		s.load(l, ip)
+		s.load(l, ip, true)
 		if s.pf != nil && !s.cfg.OnCommitPrefetch {
 			// On-access (insecure) prefetching: speculative training.
+			if s.obs != nil {
+				s.obs.Event(probe.Event{
+					Kind: probe.EvTrain, Site: probe.SitePF, Cycle: s.now,
+					Seq: s.seq, Line: l, IP: ip, Req: mem.KindLoad, Spec: true,
+				})
+			}
 			s.pf.Train(prefetch.Event{Line: l, IP: ip, Cycle: s.now, AccessCycle: s.now})
 		}
 	}
-	// Squash: transient instructions never commit.
+	// Squash: transient instructions never commit. The GM announces its
+	// own squash; the non-secure hierarchy has no squash mechanism, so
+	// the harness reports the architectural event itself.
 	if s.gm != nil {
 		s.gm.Squash(startSeq)
+	} else if s.obs != nil {
+		s.obs.Event(probe.Event{
+			Kind: probe.EvSquash, Site: probe.SiteCore, Cycle: s.now,
+			Seq: startSeq, Spec: true,
+		})
 	}
 	s.drain(512)
 }

@@ -1,0 +1,124 @@
+package attack
+
+import (
+	"fmt"
+
+	"secpref/internal/leakage"
+	"secpref/internal/probe"
+)
+
+// Channel selects which side channel MeasureChannel drives.
+type Channel int
+
+const (
+	// ChannelCache is the direct transient-fill channel (SpectreCacheLeak).
+	ChannelCache Channel = iota
+	// ChannelPrefetch is the prefetcher-training channel (SpectrePrefetchLeak).
+	ChannelPrefetch
+)
+
+// String implements fmt.Stringer.
+func (c Channel) String() string {
+	if c == ChannelPrefetch {
+		return "prefetch"
+	}
+	return "cache"
+}
+
+// ChannelMeasurement aggregates a multi-trial prime+probe campaign: the
+// attacker-side channel estimate and the defender-side leakage audit of
+// the very same runs.
+type ChannelMeasurement struct {
+	Channel Channel `json:"channel"`
+	Trials  int     `json:"trials"`
+	// Correct counts trials whose inference matched the secret.
+	Correct int `json:"correct"`
+	// BitsPerTrial is the empirical mutual information of the
+	// (secret, inferred) channel — bits extracted per trial. A perfect
+	// 16-way channel yields 4.0.
+	BitsPerTrial float64 `json:"bits_per_trial"`
+	// LatencyMI is the mutual-information upper bound over the
+	// secret-slot vs other-slot probe-latency distributions.
+	LatencyMI float64 `json:"latency_mi"`
+	// Separation is mean(other-slot latency) - mean(secret-slot
+	// latency) in cycles: the hit/miss separability of the channel.
+	Separation float64 `json:"separation_cycles"`
+	// Audit is the merged leakage scoreboard across all trials.
+	Audit leakage.Scoreboard `json:"audit"`
+}
+
+// probeRecorder captures the attacker's committed probe fills as they
+// pass through the probe layer (the same events any observer sees), so
+// the latency histograms are measured from observability data rather
+// than harness return values.
+type probeRecorder struct {
+	fills []probe.Event
+}
+
+// Event implements probe.Observer.
+func (p *probeRecorder) Event(ev probe.Event) {
+	if ev.Kind == probe.EvFill && ev.Site == probe.SiteCore && !ev.Spec {
+		p.fills = append(p.fills, ev)
+	}
+}
+
+// MeasureChannel runs trials prime+probe attempts of the selected
+// channel under cfg, cycling through all candidate secrets, and returns
+// the aggregate channel estimate plus the merged leakage audit.
+// trials <= 0 measures one trial per candidate secret.
+func MeasureChannel(cfg Config, ch Channel, trials int) (*ChannelMeasurement, error) {
+	if trials <= 0 {
+		trials = candidates
+	}
+	conf := leakage.NewConfusion()
+	var split leakage.LatencySplit
+	var audit leakage.Scoreboard
+	correct := 0
+	for t := 0; t < trials; t++ {
+		secret := t % candidates
+		aud := leakage.NewAuditor()
+		rec := &probeRecorder{}
+		runCfg := cfg
+		runCfg.Obs = probe.Fanout(cfg.Obs, aud, rec)
+		var (
+			out Outcome
+			err error
+		)
+		if ch == ChannelPrefetch {
+			out, err = SpectrePrefetchLeak(runCfg, secret)
+		} else {
+			out, err = SpectreCacheLeak(runCfg, secret)
+		}
+		if err != nil {
+			return nil, err
+		}
+		conf.Add(out.Secret, out.Inferred)
+		if out.Leaked {
+			correct++
+		}
+		// The trailing committed core fills are exactly the probe phase,
+		// one per candidate in candidate order.
+		n := len(out.Latencies)
+		if len(rec.fills) < n {
+			return nil, fmt.Errorf("attack: probe layer saw %d committed fills, want >= %d", len(rec.fills), n)
+		}
+		for i, f := range rec.fills[len(rec.fills)-n:] {
+			class := leakage.ClassOther
+			if i == out.Secret {
+				class = leakage.ClassSecret
+			}
+			split.Add(class, f.Aux)
+		}
+		sb := aud.Scoreboard()
+		audit.Merge(&sb)
+	}
+	return &ChannelMeasurement{
+		Channel:      ch,
+		Trials:       trials,
+		Correct:      correct,
+		BitsPerTrial: conf.BitsPerTrial(),
+		LatencyMI:    split.MIBits(),
+		Separation:   split.Separation(),
+		Audit:        audit,
+	}, nil
+}

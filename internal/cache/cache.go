@@ -478,6 +478,7 @@ func (c *Cache) handleSpec(r *mem.Request) bool {
 			c.Obs.Event(probe.Event{
 				Kind: probe.EvAccess, Site: c.site, Cycle: c.now,
 				Seq: r.Timestamp, Line: r.Line, IP: r.IP, Req: r.Kind, Hit: true,
+				Spec: true,
 			})
 		}
 		// The stored prefetch latency travels with the response (the
@@ -511,7 +512,7 @@ func (c *Cache) handleSpec(r *mem.Request) bool {
 				c.Obs.Event(probe.Event{
 					Kind: probe.EvMerge, Site: c.site, Cycle: c.now,
 					Seq: r.Timestamp, Line: r.Line, IP: r.IP, Req: r.Kind,
-					Hit: r.MergedPrefetch,
+					Hit: r.MergedPrefetch, Spec: true,
 				})
 			}
 			return true
@@ -528,6 +529,7 @@ func (c *Cache) handleSpec(r *mem.Request) bool {
 		c.Obs.Event(probe.Event{
 			Kind: probe.EvAccess, Site: c.site, Cycle: c.now,
 			Seq: r.Timestamp, Line: r.Line, IP: r.IP, Req: r.Kind,
+			Spec: true,
 		})
 	}
 	c.initMSHR(idx, r, mem.KindLoad, r.FillLevel)
@@ -665,8 +667,13 @@ func (c *Cache) missTo(r *mem.Request, kind mem.Kind) bool {
 				c.Stats.PrefetchPromotions++
 				c.Stats.PrefLate++
 			}
-			// A non-speculative joiner makes the eventual fill install.
-			e.spec = false
+			// A non-speculative joiner makes the eventual fill install;
+			// the install's provenance (timestamp) becomes the joiner's,
+			// since the joiner is what architecturally justifies it.
+			if e.spec {
+				e.spec = false
+				e.timestamp = r.Timestamp
+			}
 			e.waiters = append(e.waiters, r)
 			c.Stats.MSHRMerges++
 			if c.Obs != nil {
@@ -700,6 +707,7 @@ func (c *Cache) missToPrefetch(r *mem.Request) bool {
 			if e.spec {
 				e.spec = false
 				e.kind = mem.KindPrefetch
+				e.timestamp = r.Timestamp
 			}
 			if r.Owner != nil {
 				e.waiters = append(e.waiters, r)
@@ -847,9 +855,17 @@ func (c *Cache) applyFill(fr *fillRecord) bool {
 		c.Stats.PrefFilled++
 	}
 	if c.Obs != nil {
+		// Provenance: entry-backed installs carry the MSHR entry's
+		// timestamp (re-attributed to the oldest non-speculative joiner),
+		// not the child request's, so an install justified by committed
+		// work is never misattributed to a transient trigger.
+		seq := fr.req.Timestamp
+		if fr.entry != nil {
+			seq = fr.entry.timestamp
+		}
 		c.Obs.Event(probe.Event{
 			Kind: probe.EvInstall, Site: c.site, Cycle: c.now,
-			Seq: fr.req.Timestamp, Line: fr.req.Line, IP: fr.req.IP,
+			Seq: seq, Line: fr.req.Line, IP: fr.req.IP,
 			Req: fr.req.Kind, Hit: isPref, Aux: uint64(lat),
 		})
 	}
@@ -917,7 +933,7 @@ func (c *Cache) completeMSHR(e *mshrEntry, child *mem.Request) {
 			c.Obs.Event(probe.Event{
 				Kind: probe.EvFill, Site: c.site, Cycle: c.now,
 				Seq: w.Timestamp, Line: w.Line, IP: w.IP, Req: w.Kind,
-				Level: served, Aux: uint64(w.FillLat),
+				Level: served, Aux: uint64(w.FillLat), Spec: w.SpecBypass,
 			})
 		}
 		if w.Kind.IsDemand() || w.Kind == mem.KindRefetch {

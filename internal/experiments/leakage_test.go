@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func leakageTestOpts(dir string) Options {
+	opts := DefaultOptions()
+	opts.Instrs = 6000
+	opts.Warmup = 1000
+	opts.Traces = []string{"605.mcf-1554B", "641.leela-1083B"}
+	opts.TimeseriesDir = dir
+	return opts
+}
+
+// TestSecureLeakageGate is the in-repo version of the CI gate: the
+// secure configuration audits provably clean, the non-secure one
+// provably dirty.
+func TestSecureLeakageGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("gate runs sim campaigns")
+	}
+	r := NewRunner(leakageTestOpts(""))
+	if err := r.SecureLeakageGate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLeakageAuditExport checks the table lands in the time-series
+// directory as both JSON and CSV, and that the scoreboard rows carry
+// the expected verdicts.
+func TestLeakageAuditExport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs sim campaigns")
+	}
+	dir := t.TempDir()
+	r := NewRunner(leakageTestOpts(dir))
+	tab, err := r.LeakageAudit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make(map[string][]string)
+	for _, row := range tab.Rows {
+		rows[row[0]+"|"+row[1]] = row
+	}
+	// Non-secure with no prefetcher: tainted, full 4-bit direct leak.
+	if row := rows["non-secure/on-access|none"]; row == nil || row[2] == "0" || row[4] != "4.00" {
+		t.Errorf("non-secure row wrong: %v", row)
+	}
+	// The full defense: all zeros.
+	for _, pf := range append([]string{"none"}, Prefetchers...) {
+		row := rows["secure/on-commit|"+pf]
+		if row == nil || row[2] != "0" || row[3] != "0" {
+			t.Errorf("secure/on-commit %s not clean: %v", pf, row)
+		}
+	}
+	// Campaign rows: secure clean, on-access training dirty.
+	if row := rows["campaign: berti/on-commit/secure|berti"]; row == nil || row[2] != "0" || row[3] != "0" {
+		t.Errorf("secure campaign row wrong: %v", row)
+	}
+	if row := rows["campaign: berti/on-access/non-secure|berti"]; row == nil || row[3] == "0" {
+		t.Errorf("on-access campaign row should count spec trains: %v", row)
+	}
+	for _, name := range []string{"leakage-audit.json", "leakage-audit.csv"} {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("export missing: %v", err)
+		}
+		if !strings.Contains(string(b), "spec-trains") {
+			t.Errorf("%s lacks header: %.80s", name, b)
+		}
+	}
+}

@@ -11,9 +11,10 @@ var IDs = []string{
 }
 
 // ExtensionIDs lists the beyond-the-paper experiments (SMT, TSB on
-// non-secure systems, ablations).
+// non-secure systems, ablations, the security scoreboard).
 var ExtensionIDs = []string{
 	"smt-suf", "tsb-nonsecure", "ablate-gm", "ablate-tlb", "ablate-lateness", "ablate-policy",
+	"leakage-audit",
 }
 
 // Run regenerates one experiment by id.
@@ -65,6 +66,8 @@ func (r *Runner) Run(id string) (*Table, error) {
 		return r.AblateLateness()
 	case "ablate-policy":
 		return r.AblatePolicy()
+	case "leakage-audit":
+		return r.LeakageAudit()
 	}
 	return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs)
 }

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"encoding/csv"
 	"encoding/json"
 	"fmt"
+	"io"
 	"strings"
 )
 
@@ -21,6 +23,21 @@ func (t *Table) JSON() ([]byte, error) { return json.MarshalIndent(t, "", "  ") 
 
 // AddRow appends a data row.
 func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// WriteCSV renders the table as CSV: the header row, then data rows.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
 
 // String renders the table as aligned text.
 func (t *Table) String() string {

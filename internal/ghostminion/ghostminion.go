@@ -208,6 +208,7 @@ func (g *GM) issueLoad(r *mem.Request, countStats, allowLeapfrog bool) bool {
 				g.Obs.Event(probe.Event{
 					Kind: probe.EvAccess, Site: probe.SiteGM, Cycle: g.now,
 					Seq: r.Timestamp, Line: r.Line, IP: r.IP, Req: mem.KindLoad, Hit: true,
+					Spec: true,
 				})
 			}
 		}
@@ -240,6 +241,7 @@ func (g *GM) issueLoad(r *mem.Request, countStats, allowLeapfrog bool) bool {
 				g.Obs.Event(probe.Event{
 					Kind: probe.EvMerge, Site: probe.SiteGM, Cycle: g.now,
 					Seq: r.Timestamp, Line: r.Line, IP: r.IP, Req: mem.KindLoad,
+					Spec: true,
 				})
 			}
 			return true
@@ -256,6 +258,7 @@ func (g *GM) issueLoad(r *mem.Request, countStats, allowLeapfrog bool) bool {
 			g.Obs.Event(probe.Event{
 				Kind: probe.EvAccess, Site: probe.SiteGM, Cycle: g.now,
 				Seq: r.Timestamp, Line: r.Line, IP: r.IP, Req: mem.KindLoad,
+				Spec: true,
 			})
 		}
 	}
@@ -307,7 +310,7 @@ func (g *GM) allocMSHR(ts uint64, allowLeapfrog bool) int {
 		g.Obs.Event(probe.Event{
 			Kind: probe.EvDrop, Site: probe.SiteGM, Cycle: g.now,
 			Seq: v.timestamp, Line: v.line, Req: mem.KindLoad,
-			Aux: probe.DropLeapfrog,
+			Aux: probe.DropLeapfrog, Spec: true,
 		})
 	}
 	for i, w := range v.waiters {
@@ -405,6 +408,7 @@ func (g *GM) fill(e *gmMSHR, pr *mem.Request) {
 				Kind: probe.EvFill, Site: probe.SiteGM, Cycle: g.now,
 				Seq: w.Timestamp, Line: w.Line, IP: w.IP, Req: mem.KindLoad,
 				Level: servedBy, Hit: w.HitPrefetched, Aux: uint64(g.now - w.Issued),
+				Spec: true,
 			})
 		}
 		g.respond(w)
@@ -541,6 +545,12 @@ func (g *GM) Commit(line mem.Line, ts uint64, hitLevel mem.Level, cs *stats.Core
 // squash; note the non-speculative hierarchy is untouched, which is
 // exactly GhostMinion's security argument.
 func (g *GM) Squash(ts uint64) {
+	if g.Obs != nil {
+		g.Obs.Event(probe.Event{
+			Kind: probe.EvSquash, Site: probe.SiteGM, Cycle: g.now,
+			Seq: ts, Spec: true,
+		})
+	}
 	for i := range g.lines {
 		if g.lines[i].valid && g.lines[i].timestamp >= ts {
 			g.lines[i].valid = false

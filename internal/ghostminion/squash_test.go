@@ -1,0 +1,177 @@
+package ghostminion
+
+import (
+	"testing"
+
+	"secpref/internal/cache"
+	"secpref/internal/mem"
+	"secpref/internal/probe"
+)
+
+// issue issues a speculative load with an explicit timestamp without
+// stepping the rig, so MSHR entries pile up in flight. It returns a
+// pointer to the load's completion flag.
+func (r *rig) issue(t *testing.T, line mem.Line, ts uint64) *bool {
+	t.Helper()
+	done := new(bool)
+	req := &mem.Request{Line: line, Kind: mem.KindLoad, Issued: r.now, Timestamp: ts,
+		Owner: mem.CompleterFunc(func(*mem.Request) { *done = true })}
+	if !r.gm.IssueLoad(req) {
+		t.Fatalf("load line=%d ts=%d rejected", line, ts)
+	}
+	return done
+}
+
+// TestSquashDropsDisplacedRetryEntries fills every MSHR, leapfrogs the
+// youngest entry into the retry queue, then squashes: the displaced
+// waiter (timestamp above the squash point) must be scrubbed from the
+// retry queue, not silently re-issued once capacity frees up.
+func TestSquashDropsDisplacedRetryEntries(t *testing.T) {
+	r := newRig()
+	cfg := DefaultConfig()
+	dones := make(map[uint64]*bool)
+	lines := make(map[uint64]mem.Line)
+	for i := 0; i < cfg.MSHRs; i++ {
+		ts := uint64(100 + i)
+		lines[ts] = mem.Line(1000 + i)
+		dones[ts] = r.issue(t, lines[ts], ts)
+	}
+	// The older load displaces the youngest entry (ts 115); its waiter
+	// lands in the retry queue.
+	doneOld := r.issue(t, 2000, 5)
+	if r.gm.Stats.Leapfrogs != 1 {
+		t.Fatalf("Leapfrogs = %d, want 1", r.gm.Stats.Leapfrogs)
+	}
+
+	r.gm.Squash(110)
+	r.step(500)
+
+	for ts, done := range dones {
+		if ts < 110 && !*done {
+			t.Errorf("load ts=%d (below squash point) never completed", ts)
+		}
+		if ts >= 110 && *done {
+			t.Errorf("squashed load ts=%d completed", ts)
+		}
+		if ts >= 110 && r.gm.Contains(lines[ts]) {
+			t.Errorf("squashed line %d (ts=%d) filled the GM", lines[ts], ts)
+		}
+	}
+	if !*doneOld {
+		t.Error("older load (ts=5) never completed")
+	}
+}
+
+// TestSquashKeepsOlderRetryEntries is the other side of the boundary:
+// a displaced waiter older than the squash point stays queued and
+// completes once MSHR capacity frees up.
+func TestSquashKeepsOlderRetryEntries(t *testing.T) {
+	r := newRig()
+	cfg := DefaultConfig()
+	dones := make(map[uint64]*bool)
+	for i := 0; i < cfg.MSHRs; i++ {
+		ts := uint64(100 + i)
+		dones[ts] = r.issue(t, mem.Line(1000+i), ts)
+	}
+	doneOld := r.issue(t, 2000, 5)
+	if r.gm.Stats.Leapfrogs != 1 {
+		t.Fatalf("Leapfrogs = %d, want 1", r.gm.Stats.Leapfrogs)
+	}
+
+	r.gm.Squash(116) // above every issued timestamp: nothing is squashed
+
+	for i := 0; i < 20000; i++ {
+		all := *doneOld
+		for _, done := range dones {
+			all = all && *done
+		}
+		if all {
+			return
+		}
+		r.step(1)
+	}
+	for ts, done := range dones {
+		if !*done {
+			t.Errorf("load ts=%d never completed after squash above it", ts)
+		}
+	}
+	if !*doneOld {
+		t.Error("older load (ts=5) never completed")
+	}
+}
+
+// TestSquashTimestampBoundary pins the >= semantics: a line inserted at
+// exactly the squash timestamp dies, one just below survives.
+func TestSquashTimestampBoundary(t *testing.T) {
+	r := newRig()
+	_, s1 := r.specLoad(800)
+	_, s2 := r.specLoad(801)
+	if s2 != s1+1 {
+		t.Fatalf("rig sequence numbers not consecutive: %d, %d", s1, s2)
+	}
+	r.gm.Squash(s2)
+	if !r.gm.Contains(800) {
+		t.Error("line below the squash timestamp was invalidated")
+	}
+	if r.gm.Contains(801) {
+		t.Error("line at the squash timestamp survived")
+	}
+}
+
+// TestSquashFreesMSHRCapacity cancels every in-flight fetch and checks
+// the slots (and the mshrInUse accounting behind IssueLoad's fast path)
+// are immediately reusable without leapfrogging.
+func TestSquashFreesMSHRCapacity(t *testing.T) {
+	cfg := DefaultConfig()
+	// A zero-bandwidth L1D keeps every fetch in flight forever.
+	stall := cache.New(cache.Config{
+		Name: "stall", Level: mem.LvlL1D, SizeKiB: 1, Ways: 2, Latency: 2,
+		MSHRs: 1, RQSize: 1, WQSize: 1, PQSize: 1,
+		MaxReads: 0, MaxWrites: 0, MaxPrefetches: 0, MaxFills: 0,
+	}, nil)
+	gm := New(cfg, stall, nil)
+	for i := 0; i < cfg.MSHRs; i++ {
+		req := &mem.Request{Line: mem.Line(1000 + i), Kind: mem.KindLoad, Timestamp: uint64(100 + i)}
+		if !gm.IssueLoad(req) {
+			t.Fatalf("load %d rejected with free MSHRs", i)
+		}
+	}
+	gm.Squash(100)
+	// Every slot must be back: a second full set is accepted without
+	// displacing anyone.
+	for i := 0; i < cfg.MSHRs; i++ {
+		req := &mem.Request{Line: mem.Line(4000 + i), Kind: mem.KindLoad, Timestamp: uint64(200 + i)}
+		if !gm.IssueLoad(req) {
+			t.Fatalf("post-squash load %d rejected: MSHR slot not freed", i)
+		}
+	}
+	if gm.Stats.Leapfrogs != 0 {
+		t.Errorf("Leapfrogs = %d: post-squash loads displaced entries instead of reusing freed slots", gm.Stats.Leapfrogs)
+	}
+}
+
+type obsRecorder struct{ events []probe.Event }
+
+func (o *obsRecorder) Event(ev probe.Event) { o.events = append(o.events, ev) }
+
+// TestSquashEmitsEvent checks the observer contract: one EvSquash at
+// the GM carrying the first squashed timestamp, before any state dies.
+func TestSquashEmitsEvent(t *testing.T) {
+	r := newRig()
+	rec := &obsRecorder{}
+	r.gm.Obs = rec
+	r.gm.Squash(42)
+	var squashes []probe.Event
+	for _, ev := range rec.events {
+		if ev.Kind == probe.EvSquash {
+			squashes = append(squashes, ev)
+		}
+	}
+	if len(squashes) != 1 {
+		t.Fatalf("EvSquash count = %d, want 1 (events: %v)", len(squashes), rec.events)
+	}
+	ev := squashes[0]
+	if ev.Site != probe.SiteGM || ev.Seq != 42 || !ev.Spec {
+		t.Errorf("EvSquash = {Site: %v, Seq: %d, Spec: %v}, want {GM, 42, true}", ev.Site, ev.Seq, ev.Spec)
+	}
+}

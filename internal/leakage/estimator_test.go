@@ -1,0 +1,80 @@
+package leakage
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConfusionPerfectChannel(t *testing.T) {
+	c := NewConfusion()
+	for s := 0; s < 16; s++ {
+		c.Add(s, s)
+	}
+	if got := c.BitsPerTrial(); math.Abs(got-4.0) > 1e-9 {
+		t.Fatalf("perfect 16-way channel: %.4f bits, want 4", got)
+	}
+}
+
+func TestConfusionNoChannel(t *testing.T) {
+	c := NewConfusion()
+	for s := 0; s < 16; s++ {
+		c.Add(s, -1) // attacker always learns nothing
+	}
+	if got := c.BitsPerTrial(); got > 1e-9 {
+		t.Fatalf("constant inference leaks %.4f bits, want 0", got)
+	}
+}
+
+func TestConfusionPartialChannel(t *testing.T) {
+	// Half the trials leak perfectly, half read as nothing: strictly
+	// between 0 and 4 bits.
+	c := NewConfusion()
+	for s := 0; s < 16; s++ {
+		c.Add(s, s)
+		c.Add(s, -1)
+	}
+	got := c.BitsPerTrial()
+	if got <= 0.5 || got >= 4 {
+		t.Fatalf("partial channel: %.4f bits, want within (0.5, 4)", got)
+	}
+}
+
+func TestLatencySplitSeparated(t *testing.T) {
+	var l LatencySplit
+	for i := 0; i < 16; i++ {
+		l.Add(ClassSecret, 5)
+	}
+	for i := 0; i < 240; i++ {
+		l.Add(ClassOther, 200)
+	}
+	if got := l.Separation(); math.Abs(got-195) > 1e-9 {
+		t.Fatalf("separation = %.1f, want 195", got)
+	}
+	// Fully separable: MI equals the class entropy H(1/16).
+	p := 1.0 / 16
+	want := -(p*math.Log2(p) + (1-p)*math.Log2(1-p))
+	if got := l.MIBits(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("MI = %.4f, want H(class) = %.4f", got, want)
+	}
+}
+
+func TestLatencySplitOverlapping(t *testing.T) {
+	var l LatencySplit
+	for i := 0; i < 100; i++ {
+		l.Add(ClassSecret, uint64(200+i%3))
+		l.Add(ClassOther, uint64(200+i%3))
+	}
+	if got := l.MIBits(); got > 1e-9 {
+		t.Fatalf("identical distributions: MI = %.4f, want 0", got)
+	}
+	if got := l.Separation(); math.Abs(got) > 1e-9 {
+		t.Fatalf("identical distributions: separation = %.2f, want 0", got)
+	}
+}
+
+func TestLatencySplitEmpty(t *testing.T) {
+	var l LatencySplit
+	if l.MIBits() != 0 || l.Separation() != 0 || l.Count(ClassSecret) != 0 {
+		t.Fatal("empty split must report zeros")
+	}
+}

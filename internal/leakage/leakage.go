@@ -1,0 +1,319 @@
+// Package leakage implements the taint-and-audit observability
+// subsystem: an Auditor that consumes probe events, tracks mutations of
+// persistent microarchitectural structures (cache lines, replacement
+// metadata, prefetcher training tables), and charges every mutation
+// made by later-squashed work to the site and structure that retained
+// it. On a secure configuration (GhostMinion + on-commit prefetch) the
+// resulting scoreboard must be provably zero; when it is not, the
+// scoreboard says exactly which site/structure broke the invariant.
+//
+// The auditor is a plain probe.Observer: it never mutates simulation
+// state, so it can ride along any run (sim's equivalence test holds
+// with the auditor attached).
+package leakage
+
+import (
+	"fmt"
+	"strings"
+
+	"secpref/internal/mem"
+	"secpref/internal/probe"
+)
+
+// Structure classifies the persistent state a mutation touched.
+type Structure uint8
+
+const (
+	// StructLines: a cache line was installed (data presence is
+	// attacker-observable through probe latency).
+	StructLines Structure = iota
+	// StructReplMeta: replacement metadata was updated by a demand hit
+	// (recency/RRPV state is observable through eviction patterns).
+	StructReplMeta
+	// StructTrainTable: the prefetcher's training state absorbed an
+	// access (observable through the prefetches it later issues).
+	StructTrainTable
+
+	// NumStructures is the number of audited structure classes.
+	NumStructures = int(StructTrainTable) + 1
+)
+
+// String implements fmt.Stringer.
+func (s Structure) String() string {
+	switch s {
+	case StructLines:
+		return "lines"
+	case StructReplMeta:
+		return "repl-meta"
+	case StructTrainTable:
+		return "train-table"
+	}
+	return fmt.Sprintf("structure(%d)", uint8(s))
+}
+
+// ViolationKind classifies how a violation was detected.
+type ViolationKind uint8
+
+const (
+	// TaintedSurvivor: a persistent structure was mutated by work that a
+	// later squash proved transient, and the mutation survived.
+	TaintedSurvivor ViolationKind = iota
+	// SpeculativeInstall: a line install was tagged speculative at the
+	// emitting site (the hierarchy installed not-yet-committed data).
+	SpeculativeInstall
+	// SpeculativeTrain: the prefetcher trained on an access that had not
+	// committed (the channel the on-commit discipline closes).
+	SpeculativeTrain
+)
+
+// String implements fmt.Stringer.
+func (k ViolationKind) String() string {
+	switch k {
+	case TaintedSurvivor:
+		return "tainted-survivor"
+	case SpeculativeInstall:
+		return "speculative-install"
+	case SpeculativeTrain:
+		return "speculative-train"
+	}
+	return fmt.Sprintf("violation(%d)", uint8(k))
+}
+
+// Violation is one detected invariant break, with enough context to
+// name the offender.
+type Violation struct {
+	Kind      ViolationKind
+	Site      probe.Site
+	Structure Structure
+	Line      mem.Line
+	Seq       uint64
+	Cycle     mem.Cycle
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s at %s/%s line=%#x seq=%d cycle=%d",
+		v.Kind, v.Site, v.Structure, uint64(v.Line), v.Seq, v.Cycle)
+}
+
+// maxViolations caps the detailed violation list; the counters keep
+// counting past it.
+const maxViolations = 32
+
+// Scoreboard is the audit result. Clean() is the paper's security
+// invariant; the per-site/structure matrix and the violation list are
+// the diagnosis when it fails.
+type Scoreboard struct {
+	// TaintedSurvivors counts persistent-structure mutations charged to
+	// later-squashed work.
+	TaintedSurvivors uint64 `json:"tainted_survivors"`
+	// SpecTrains counts prefetcher trainings on not-yet-committed
+	// accesses.
+	SpecTrains uint64 `json:"spec_trains"`
+	// SpecInstalls counts line installs tagged speculative at emission
+	// (should be structurally impossible: the hierarchy completes
+	// speculative probes without installing).
+	SpecInstalls uint64 `json:"spec_installs"`
+
+	// Audit-coverage evidence: a clean scoreboard is only meaningful if
+	// the auditor actually witnessed speculation and commits.
+	Squashes     uint64 `json:"squashes"`
+	Commits      uint64 `json:"commits"`
+	SpecAccesses uint64 `json:"spec_accesses"`
+	// Mutations counts the persistent-structure mutations tracked for
+	// taint resolution (committed ones retire silently).
+	Mutations uint64 `json:"mutations"`
+
+	// Tainted breaks TaintedSurvivors down by [site][structure].
+	Tainted [probe.NumSites][NumStructures]uint64 `json:"tainted"`
+
+	// Violations holds the first maxViolations detected breaks in
+	// detection order.
+	Violations []Violation `json:"-"`
+}
+
+// Clean reports the security invariant: no speculative work left a
+// persistent trace.
+func (s *Scoreboard) Clean() bool {
+	return s.TaintedSurvivors == 0 && s.SpecTrains == 0 && s.SpecInstalls == 0
+}
+
+// Merge folds another scoreboard into s (multi-trial aggregation).
+func (s *Scoreboard) Merge(o *Scoreboard) {
+	s.TaintedSurvivors += o.TaintedSurvivors
+	s.SpecTrains += o.SpecTrains
+	s.SpecInstalls += o.SpecInstalls
+	s.Squashes += o.Squashes
+	s.Commits += o.Commits
+	s.SpecAccesses += o.SpecAccesses
+	s.Mutations += o.Mutations
+	for i := range s.Tainted {
+		for j := range s.Tainted[i] {
+			s.Tainted[i][j] += o.Tainted[i][j]
+		}
+	}
+	for _, v := range o.Violations {
+		if len(s.Violations) >= maxViolations {
+			break
+		}
+		s.Violations = append(s.Violations, v)
+	}
+}
+
+// String renders the scoreboard for humans: one line when clean, the
+// per-site/structure breakdown plus the recorded violations otherwise.
+func (s *Scoreboard) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tainted-survivors=%d spec-trains=%d spec-installs=%d (squashes=%d commits=%d spec-accesses=%d mutations=%d)",
+		s.TaintedSurvivors, s.SpecTrains, s.SpecInstalls,
+		s.Squashes, s.Commits, s.SpecAccesses, s.Mutations)
+	if s.Clean() {
+		return "clean: " + b.String()
+	}
+	for site := 0; site < probe.NumSites; site++ {
+		for st := 0; st < NumStructures; st++ {
+			if n := s.Tainted[site][st]; n > 0 {
+				fmt.Fprintf(&b, "\n  %s/%s: %d tainted", probe.Site(site), Structure(st), n)
+			}
+		}
+	}
+	for _, v := range s.Violations {
+		fmt.Fprintf(&b, "\n  %s", v)
+	}
+	return b.String()
+}
+
+// mutation is one tracked persistent-structure update whose triggering
+// instruction has not committed yet.
+type mutation struct {
+	seq       uint64
+	line      mem.Line
+	cycle     mem.Cycle
+	site      probe.Site
+	structure Structure
+}
+
+// compactAt bounds the pending list: when it grows past this, entries
+// whose instruction has since committed are retired.
+const compactAt = 4096
+
+// Auditor consumes probe events and maintains the scoreboard. The
+// taint rule: a mutation with program-order timestamp seq is charged
+// when an EvSquash(ts) arrives with seq >= ts before any commit
+// advanced the watermark past seq — commits are program-ordered, so
+// watermark < seq means the instruction had not committed when it
+// mutated the structure. Seq 0 identifies maintenance traffic
+// (prefetch fills, writebacks, commit writes), which carries committed
+// or architectural provenance and is exempt.
+type Auditor struct {
+	sb        Scoreboard
+	watermark uint64 // highest committed program-order timestamp
+	pending   []mutation
+}
+
+// NewAuditor returns an empty auditor.
+func NewAuditor() *Auditor { return &Auditor{} }
+
+// Event implements probe.Observer.
+func (a *Auditor) Event(ev probe.Event) {
+	switch ev.Kind {
+	case probe.EvCommit:
+		if ev.Site == probe.SiteCore {
+			a.sb.Commits++
+		}
+		if (ev.Site == probe.SiteCore || ev.Site == probe.SiteGM) && ev.Seq > a.watermark {
+			a.watermark = ev.Seq
+		}
+	case probe.EvSquash:
+		a.sb.Squashes++
+		a.resolve(ev.Seq)
+	case probe.EvAccess:
+		if ev.Spec {
+			a.sb.SpecAccesses++
+			return
+		}
+		// A committed-provenance demand hit touches replacement state.
+		if cacheSite(ev.Site) && ev.Hit && ev.Seq > a.watermark {
+			a.record(mutation{seq: ev.Seq, line: ev.Line, cycle: ev.Cycle, site: ev.Site, structure: StructReplMeta})
+		}
+	case probe.EvInstall:
+		if !cacheSite(ev.Site) {
+			return
+		}
+		if ev.Spec {
+			a.sb.SpecInstalls++
+			a.violate(Violation{Kind: SpeculativeInstall, Site: ev.Site, Structure: StructLines, Line: ev.Line, Seq: ev.Seq, Cycle: ev.Cycle})
+			return
+		}
+		if ev.Seq > a.watermark {
+			a.record(mutation{seq: ev.Seq, line: ev.Line, cycle: ev.Cycle, site: ev.Site, structure: StructLines})
+		}
+	case probe.EvTrain:
+		if ev.Spec {
+			a.sb.SpecTrains++
+			a.violate(Violation{Kind: SpeculativeTrain, Site: ev.Site, Structure: StructTrainTable, Line: ev.Line, Seq: ev.Seq, Cycle: ev.Cycle})
+		}
+		if ev.Seq > a.watermark {
+			a.record(mutation{seq: ev.Seq, line: ev.Line, cycle: ev.Cycle, site: ev.Site, structure: StructTrainTable})
+		}
+	}
+}
+
+// cacheSite reports whether the site holds audited persistent cache
+// state (the GM is speculative by design; DRAM has no attacker-visible
+// per-line state in this model).
+func cacheSite(s probe.Site) bool {
+	return s == probe.SiteL1D || s == probe.SiteL2 || s == probe.SiteLLC
+}
+
+func (a *Auditor) record(m mutation) {
+	a.sb.Mutations++
+	if len(a.pending) >= compactAt {
+		a.compact()
+	}
+	a.pending = append(a.pending, m)
+}
+
+// compact retires pending mutations whose instruction has committed.
+func (a *Auditor) compact() {
+	w := 0
+	for _, m := range a.pending {
+		if m.seq > a.watermark {
+			a.pending[w] = m
+			w++
+		}
+	}
+	a.pending = a.pending[:w]
+}
+
+// resolve charges every pending mutation from the squashed range: its
+// instruction never committed, yet the structure kept the update.
+// Mutations at or below the commit watermark are exempt even if still
+// pending (compaction is lazy): their instruction did commit.
+func (a *Auditor) resolve(ts uint64) {
+	w := 0
+	for _, m := range a.pending {
+		if m.seq >= ts && m.seq > a.watermark {
+			a.sb.TaintedSurvivors++
+			a.sb.Tainted[m.site][m.structure]++
+			a.violate(Violation{Kind: TaintedSurvivor, Site: m.site, Structure: m.structure, Line: m.line, Seq: m.seq, Cycle: m.cycle})
+			continue
+		}
+		a.pending[w] = m
+		w++
+	}
+	a.pending = a.pending[:w]
+}
+
+func (a *Auditor) violate(v Violation) {
+	if len(a.sb.Violations) < maxViolations {
+		a.sb.Violations = append(a.sb.Violations, v)
+	}
+}
+
+// Scoreboard returns a copy of the current audit state.
+func (a *Auditor) Scoreboard() Scoreboard {
+	sb := a.sb
+	sb.Violations = append([]Violation(nil), a.sb.Violations...)
+	return sb
+}

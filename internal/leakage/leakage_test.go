@@ -1,0 +1,129 @@
+package leakage
+
+import (
+	"strings"
+	"testing"
+
+	"secpref/internal/probe"
+)
+
+func TestAuditorCommitThenSquash(t *testing.T) {
+	a := NewAuditor()
+	// Committed work: install at seq 5, then commit 5 — never tainted.
+	a.Event(probe.Event{Kind: probe.EvInstall, Site: probe.SiteL1D, Seq: 5, Line: 0xA})
+	a.Event(probe.Event{Kind: probe.EvCommit, Site: probe.SiteCore, Seq: 5})
+	// Transient work: install at seq 9, squashed from 7.
+	a.Event(probe.Event{Kind: probe.EvInstall, Site: probe.SiteL1D, Seq: 9, Line: 0xB})
+	a.Event(probe.Event{Kind: probe.EvSquash, Site: probe.SiteCore, Seq: 7})
+	sb := a.Scoreboard()
+	if sb.TaintedSurvivors != 1 {
+		t.Fatalf("tainted = %d, want 1: %s", sb.TaintedSurvivors, sb.String())
+	}
+	if sb.Tainted[probe.SiteL1D][StructLines] != 1 {
+		t.Errorf("taint not attributed to L1D/lines: %s", sb.String())
+	}
+	if len(sb.Violations) != 1 || sb.Violations[0].Kind != TaintedSurvivor || sb.Violations[0].Seq != 9 {
+		t.Errorf("violation detail wrong: %+v", sb.Violations)
+	}
+	if sb.Clean() {
+		t.Error("scoreboard with a tainted survivor must not be clean")
+	}
+	if !strings.Contains(sb.String(), "L1D/lines") {
+		t.Errorf("String() should name the offending site/structure: %s", sb.String())
+	}
+}
+
+func TestAuditorSquashBoundary(t *testing.T) {
+	a := NewAuditor()
+	a.Event(probe.Event{Kind: probe.EvInstall, Site: probe.SiteL2, Seq: 6})
+	a.Event(probe.Event{Kind: probe.EvInstall, Site: probe.SiteL2, Seq: 7})
+	a.Event(probe.Event{Kind: probe.EvSquash, Seq: 7}) // squash [7, inf)
+	sb := a.Scoreboard()
+	if sb.TaintedSurvivors != 1 {
+		t.Fatalf("squash boundary: tainted = %d, want 1 (only seq 7)", sb.TaintedSurvivors)
+	}
+	// seq 6 is still pending; a later squash from 3 catches it.
+	a.Event(probe.Event{Kind: probe.EvSquash, Seq: 3})
+	if got := a.Scoreboard().TaintedSurvivors; got != 2 {
+		t.Fatalf("second squash: tainted = %d, want 2", got)
+	}
+}
+
+func TestAuditorMaintenanceTrafficExempt(t *testing.T) {
+	a := NewAuditor()
+	// Seq 0 = prefetch fills, writebacks, commit writes: committed or
+	// architectural provenance, never tainted.
+	a.Event(probe.Event{Kind: probe.EvInstall, Site: probe.SiteL1D, Seq: 0})
+	a.Event(probe.Event{Kind: probe.EvAccess, Site: probe.SiteL1D, Seq: 0, Hit: true})
+	a.Event(probe.Event{Kind: probe.EvSquash, Seq: 1})
+	if sb := a.Scoreboard(); sb.TaintedSurvivors != 0 || sb.Mutations != 0 {
+		t.Fatalf("maintenance traffic audited: %s", sb.String())
+	}
+}
+
+func TestAuditorReplMetaAndTrains(t *testing.T) {
+	a := NewAuditor()
+	// A demand hit touches replacement metadata; a train touches the
+	// training table. Both from not-yet-committed instructions, then
+	// squashed.
+	a.Event(probe.Event{Kind: probe.EvAccess, Site: probe.SiteLLC, Seq: 4, Hit: true})
+	a.Event(probe.Event{Kind: probe.EvTrain, Site: probe.SitePF, Seq: 5})
+	a.Event(probe.Event{Kind: probe.EvSquash, Seq: 4})
+	sb := a.Scoreboard()
+	if sb.TaintedSurvivors != 2 {
+		t.Fatalf("tainted = %d, want 2: %s", sb.TaintedSurvivors, sb.String())
+	}
+	if sb.Tainted[probe.SiteLLC][StructReplMeta] != 1 || sb.Tainted[probe.SitePF][StructTrainTable] != 1 {
+		t.Errorf("attribution wrong: %s", sb.String())
+	}
+	// Misses must not count as replacement-metadata touches.
+	b := NewAuditor()
+	b.Event(probe.Event{Kind: probe.EvAccess, Site: probe.SiteLLC, Seq: 4, Hit: false})
+	b.Event(probe.Event{Kind: probe.EvSquash, Seq: 1})
+	if got := b.Scoreboard().TaintedSurvivors; got != 0 {
+		t.Errorf("miss access counted as mutation: %d", got)
+	}
+}
+
+func TestAuditorSpecFlags(t *testing.T) {
+	a := NewAuditor()
+	a.Event(probe.Event{Kind: probe.EvTrain, Site: probe.SitePF, Seq: 3, Spec: true})
+	a.Event(probe.Event{Kind: probe.EvInstall, Site: probe.SiteL1D, Seq: 3, Spec: true})
+	a.Event(probe.Event{Kind: probe.EvAccess, Site: probe.SiteGM, Seq: 3, Hit: true, Spec: true})
+	sb := a.Scoreboard()
+	if sb.SpecTrains != 1 || sb.SpecInstalls != 1 || sb.SpecAccesses != 1 {
+		t.Fatalf("spec counters: trains=%d installs=%d accesses=%d", sb.SpecTrains, sb.SpecInstalls, sb.SpecAccesses)
+	}
+	if sb.Clean() {
+		t.Error("spec train/install must fail Clean()")
+	}
+}
+
+func TestAuditorCompaction(t *testing.T) {
+	a := NewAuditor()
+	// Far more committed mutations than the compaction threshold: the
+	// pending list must stay bounded.
+	for seq := uint64(1); seq <= 3*compactAt; seq++ {
+		a.Event(probe.Event{Kind: probe.EvInstall, Site: probe.SiteL1D, Seq: seq})
+		a.Event(probe.Event{Kind: probe.EvCommit, Site: probe.SiteCore, Seq: seq})
+	}
+	if len(a.pending) > compactAt {
+		t.Fatalf("pending grew unbounded: %d", len(a.pending))
+	}
+	a.Event(probe.Event{Kind: probe.EvSquash, Seq: 1})
+	if got := a.Scoreboard().TaintedSurvivors; got != 0 {
+		t.Fatalf("committed mutations tainted after compaction: %d", got)
+	}
+}
+
+func TestScoreboardMerge(t *testing.T) {
+	var a, b Scoreboard
+	a.TaintedSurvivors = 2
+	a.Tainted[probe.SiteL1D][StructLines] = 2
+	b.SpecTrains = 3
+	b.Violations = []Violation{{Kind: SpeculativeTrain}}
+	a.Merge(&b)
+	if a.TaintedSurvivors != 2 || a.SpecTrains != 3 || len(a.Violations) != 1 {
+		t.Fatalf("merge lost counts: %+v", a)
+	}
+}

@@ -1,0 +1,92 @@
+package leakage_test
+
+import (
+	"reflect"
+	"testing"
+
+	"secpref/internal/leakage"
+	"secpref/internal/sim"
+	"secpref/internal/trace"
+	"secpref/internal/workload"
+)
+
+func source(t *testing.T, name string, n int) trace.Source {
+	t.Helper()
+	tr, err := workload.Get(name, workload.Params{Instrs: n, Seed: 1})
+	if err != nil {
+		t.Fatalf("workload.Get(%s): %v", name, err)
+	}
+	return trace.NewSource(tr)
+}
+
+// TestAuditorEquivalence extends sim's observer guarantee to the
+// auditor: attaching it must not change the simulated outcome by a
+// single bit.
+func TestAuditorEquivalence(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.WarmupInstrs = 2000
+	cfg.MaxInstrs = 15_000
+	cfg.Secure = true
+	cfg.SUF = true
+	cfg.Prefetcher = "berti"
+	cfg.Mode = sim.ModeTimelySecure
+
+	plain, err := sim.Run(cfg, source(t, "605.mcf-1554B", 17_000))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	aud := leakage.NewAuditor()
+	probed, err := sim.RunProbed(cfg, source(t, "605.mcf-1554B", 17_000), sim.Probes{Observer: aud})
+	if err != nil {
+		t.Fatalf("RunProbed: %v", err)
+	}
+	if !reflect.DeepEqual(plain, probed) {
+		t.Fatalf("auditor perturbed the simulation:\nplain:  %+v\nprobed: %+v", plain, probed)
+	}
+}
+
+// TestSecureCampaignAuditsClean runs the secure configuration
+// (GhostMinion + on-commit prefetch) over real traces: the invariant
+// scoreboard must be exactly zero, and the audit must have witnessed
+// speculative traffic (otherwise "clean" would be vacuous).
+func TestSecureCampaignAuditsClean(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.WarmupInstrs = 1000
+	cfg.MaxInstrs = 10_000
+	cfg.Secure = true
+	cfg.SUF = true
+	cfg.Prefetcher = "berti"
+	cfg.Mode = sim.ModeOnCommit
+
+	for _, name := range []string{"605.mcf-1554B", "641.leela-1083B"} {
+		aud := leakage.NewAuditor()
+		if _, err := sim.RunProbed(cfg, source(t, name, 12_000), sim.Probes{Observer: aud}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sb := aud.Scoreboard()
+		if !sb.Clean() {
+			t.Errorf("%s: secure on-commit config not clean: %s", name, sb.String())
+		}
+		if sb.SpecAccesses == 0 || sb.Commits == 0 {
+			t.Errorf("%s: audit saw no speculation/commits — vacuous: %s", name, sb.String())
+		}
+	}
+}
+
+// TestOnAccessCampaignAuditsSpecTrains runs the insecure discipline:
+// on-access training must show up as speculative trains.
+func TestOnAccessCampaignAuditsSpecTrains(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.WarmupInstrs = 1000
+	cfg.MaxInstrs = 10_000
+	cfg.Prefetcher = "berti"
+	cfg.Mode = sim.ModeOnAccess
+
+	aud := leakage.NewAuditor()
+	if _, err := sim.RunProbed(cfg, source(t, "605.mcf-1554B", 12_000), sim.Probes{Observer: aud}); err != nil {
+		t.Fatal(err)
+	}
+	if sb := aud.Scoreboard(); sb.SpecTrains == 0 {
+		t.Errorf("on-access training not audited as speculative: %s", sb.String())
+	}
+}

@@ -39,9 +39,11 @@ const (
 	SiteLLC
 	// SiteDRAM is the memory controller.
 	SiteDRAM
+	// SitePF is the prefetcher (training events).
+	SitePF
 
 	// NumSites is the number of emission sites.
-	NumSites = int(SiteDRAM) + 1
+	NumSites = int(SitePF) + 1
 )
 
 // String implements fmt.Stringer.
@@ -59,6 +61,8 @@ func (s Site) String() string {
 		return "LLC"
 	case SiteDRAM:
 		return "DRAM"
+	case SitePF:
+		return "PF"
 	}
 	return fmt.Sprintf("site(%d)", uint8(s))
 }
@@ -104,9 +108,17 @@ const (
 	// EvSUF: the commit filter decided (Hit reports drop, Aux carries
 	// the writeback bits).
 	EvSUF
+	// EvTrain: the prefetcher consumed a training access (Spec reports
+	// whether the access had committed when it trained — the security
+	// property the on-commit discipline enforces).
+	EvTrain
+	// EvSquash: speculative work was thrown away; Seq carries the first
+	// squashed timestamp (every in-flight request with Timestamp >= Seq
+	// is transient and must leave no persistent trace).
+	EvSquash
 
 	// NumEventKinds is the number of event kinds.
-	NumEventKinds = int(EvSUF) + 1
+	NumEventKinds = int(EvSquash) + 1
 )
 
 // String implements fmt.Stringer.
@@ -130,6 +142,10 @@ func (k EventKind) String() string {
 		return "commit"
 	case EvSUF:
 		return "suf"
+	case EvTrain:
+		return "train"
+	case EvSquash:
+		return "squash"
 	}
 	return fmt.Sprintf("event(%d)", uint8(k))
 }
@@ -174,6 +190,12 @@ type Event struct {
 	// Aux is kind-specific: latency (EvFill), drop reason (EvDrop),
 	// commit outcome (EvCommit at the GM), writeback bits (EvSUF).
 	Aux uint64
+	// Spec is the event's speculative provenance: the emitting site
+	// handled this as not-yet-committed work (a GhostMinion invisible
+	// probe, a SpecBypass fill, a pre-commit prefetcher training). The
+	// leakage auditor treats a Spec mutation of persistent state as an
+	// immediate invariant violation.
+	Spec bool
 }
 
 // Observer receives fine-grained events from the hot paths. A nil

@@ -142,6 +142,9 @@ func (t *Tracer) WriteChromeTrace(w io.Writer, label string) error {
 				"kind": ev.Req.String(),
 			},
 		}
+		if ev.Spec {
+			ce.Args["spec"] = true
+		}
 		switch ev.Kind {
 		case EvAccess:
 			ce.Args["hit"] = ev.Hit
@@ -157,6 +160,10 @@ func (t *Tracer) WriteChromeTrace(w io.Writer, label string) error {
 		case EvSUF:
 			ce.Args["drop"] = ev.Hit
 			ce.Args["wb_bits"] = ev.Aux
+		case EvTrain:
+			ce.Args["hit"] = ev.Hit
+		case EvSquash:
+			ce.Args["from_seq"] = ev.Seq
 		}
 		out.TraceEvents = append(out.TraceEvents, ce)
 	}

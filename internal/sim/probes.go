@@ -41,6 +41,7 @@ func (m *Machine) attachObserver(o probe.Observer) {
 	if o == nil {
 		return
 	}
+	m.obs = o
 	m.core.Obs = o
 	if m.gm != nil {
 		m.gm.Obs = o

@@ -49,6 +49,11 @@ type Machine struct {
 	xlq        *seccore.XLQ
 	suf        *seccore.SUF
 
+	// obs receives prefetcher-training events (EvTrain) emitted by the
+	// machine itself; the components' own Obs fields are set alongside
+	// it by attachObserver. Nil means disabled.
+	obs probe.Observer
+
 	// Interval sampling state (armWindows / sampleWindow in probes.go);
 	// winObs nil means disabled and the run loop pays one nil check.
 	winObs   probe.WindowObserver
@@ -212,6 +217,16 @@ func (m *Machine) wireTraining() {
 	onAccess := func(ai cache.AccessInfo) {
 		ev := accessEv(ai)
 		if m.cfg.Mode == ModeOnAccess {
+			// On-access training consumes the access before the load
+			// commits: speculative provenance. (Shadow training below is
+			// measurement-only state and is not audited.)
+			if m.obs != nil {
+				m.obs.Event(probe.Event{
+					Kind: probe.EvTrain, Site: probe.SitePF, Cycle: ai.Cycle,
+					Line: ai.Line, IP: ai.IP, Req: ai.Kind, Hit: ai.Hit,
+					Spec: true,
+				})
+			}
 			m.pf.Train(ev)
 			if m.bertiPF != nil && ai.HitPrefetched {
 				// Hit on a prefetched line: the stored latency trains
@@ -315,15 +330,26 @@ func (m *Machine) commitTrain(ci cpu.CommitInfo) {
 		AccessCycle:   ci.AccessCycle,
 		FetchLat:      ci.FetchLat,
 	}
+	emitTrain := func(hit bool) {
+		if m.obs != nil {
+			m.obs.Event(probe.Event{
+				Kind: probe.EvTrain, Site: probe.SitePF, Cycle: ci.CommitCycle,
+				Seq: ci.Seq, Line: ci.Line, IP: ci.IP, Req: mem.KindLoad,
+				Hit: hit,
+			})
+		}
+	}
 	if isL2 {
 		// L2 prefetchers only observe the post-L1D stream.
 		if ci.HitLevel < mem.LvlL2 {
 			return
 		}
 		ev.Hit = ci.HitLevel == mem.LvlL2
+		emitTrain(ev.Hit)
 		m.pf.Train(ev)
 		return
 	}
+	emitTrain(ev.Hit)
 	m.pf.Train(ev)
 
 	if m.bertiPF == nil {
