@@ -14,6 +14,8 @@
 //	                          # of each, median per-pair probe overhead
 //	bench -update FILE        # rewrite FILE's "after" section in place
 //	bench -check FILE -tol 25 # exit 1 if >tol% slower than FILE's "after"
+//	bench -cpuprofile cpu.out # also write a CPU profile of the runs
+//	bench -memprofile mem.out # also write an allocation profile
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -166,16 +169,50 @@ func main() {
 	update := flag.String("update", "", "baseline file whose 'after' section to rewrite")
 	check := flag.String("check", "", "baseline file to compare against")
 	tol := flag.Float64("tol", 25, "allowed slowdown vs baseline 'after', percent")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measurement runs to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile (after the runs) to this file")
 	flag.Parse()
 	if *runs < 1 {
 		fmt.Fprintln(os.Stderr, "bench: -runs must be at least 1")
 		os.Exit(2)
 	}
 
+	// The profiles cover exactly what the measurement does: every timed
+	// plain/probed pair (plus the warmup pair, which profiles the same
+	// code). Profiling perturbs the timings slightly, so numbers from a
+	// profiled run should not be fed to -update.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+
 	m, mp, overhead, err := measure(*runs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		runtime.GC() // flush accumulated allocation records
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 
 	switch {

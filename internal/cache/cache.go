@@ -64,30 +64,50 @@ type FillInfo struct {
 	ReqIssued mem.Cycle
 }
 
-type lineState struct {
-	line  mem.Line
-	valid bool
-	dirty bool
+// Line metadata is stored struct-of-arrays: the tag array is the only
+// thing a lookup scans (one or two cache lines per set instead of a
+// stride of full structs), and everything else lives in a parallel
+// lineMeta slice touched only on hits, fills, and evictions. A way is
+// identified by its flat index set*ways+way; -1 means "not present".
+//
+// invalidTag marks an empty way. mem.Line is a byte address >> 6 and
+// the all-ones value would require an address beyond any the workloads
+// generate (address 0 is the only reserved value at the trace level),
+// so the sentinel can never collide with a real tag.
+const invalidTag = ^mem.Line(0)
+
+// lineMeta flag bits.
+const (
+	// lineDirty marks a modified line.
+	lineDirty = 1 << iota
+	// linePrefetched marks a line installed by a prefetch and not yet
+	// referenced by demand (accuracy accounting).
+	linePrefetched
+	// linePropagate is the GhostMinion writeback bit: on eviction the
+	// line continues to the next level even if clean.
+	linePropagate
+)
+
+type lineMeta struct {
 	lru   uint32
+	flags uint8
 	// rrpv is the SRRIP re-reference prediction (0 = imminent,
 	// 3 = distant); unused under LRU.
 	rrpv uint8
-	// prefetched marks a line installed by a prefetch and not yet
-	// referenced by demand (accuracy accounting).
-	prefetched bool
+	// wbbRest carries the remaining writeback bits for levels above.
+	wbbRest uint8
 	// fetchLat is the fill latency recorded when the line was installed
 	// by a prefetch (Berti reads it on a demand hit).
 	fetchLat mem.Cycle
-	// propagate is the GhostMinion writeback bit: on eviction the line
-	// continues to the next level even if clean.
-	propagate bool
-	// wbbRest carries the remaining writeback bits for levels above.
-	wbbRest uint8
 }
 
+// mshrEntry holds everything about an in-flight miss except the line
+// address, which lives in the parallel mshrLine tag array (invalidTag
+// = free slot) so that merge lookups and free-slot allocation scan a
+// compact array instead of striding over full entries.
 type mshrEntry struct {
 	valid     bool
-	line      mem.Line
+	slot      int      // this entry's index (mshrLine mirror key)
 	kind      mem.Kind // strongest kind (demand beats prefetch)
 	waiters   []*mem.Request
 	child     *mem.Request
@@ -111,11 +131,19 @@ const fwdCap = 8
 
 // Cache is one level of the hierarchy.
 type Cache struct {
-	cfg   Config
-	sets  [][]lineState
-	clock uint32
-	mshr  []mshrEntry
-	inUse int
+	cfg Config
+	// tags/meta are the struct-of-arrays line state (see invalidTag);
+	// setMask and ways fold the set-index math into two words.
+	tags    []mem.Line
+	meta    []lineMeta
+	setMask uint64
+	ways    int
+	clock   uint32
+	mshr    []mshrEntry
+	// mshrLine mirrors each MSHR entry's line (invalidTag when free);
+	// see mshrEntry.
+	mshrLine []mem.Line
+	inUse    int
 
 	rq, wq, pq  ring.Buf[*mem.Request]
 	fwdq        ring.Buf[*mem.Request]
@@ -123,6 +151,10 @@ type Cache struct {
 	wheel       [wheelSize][]*mem.Request
 	wheelCount  int
 	unforwarded []*mshrEntry
+
+	// wake counts externally delivered work (accepted enqueues and
+	// child-request completions); see WakeCount.
+	wake uint64
 
 	pool *mem.RequestPool
 	next Port
@@ -169,12 +201,33 @@ func New(cfg Config, next Port) *Cache {
 		// configurations satisfy this.
 		panic(fmt.Sprintf("cache %s: set count %d not a power of two", cfg.Name, nsets))
 	}
-	c.sets = make([][]lineState, nsets)
-	backing := make([]lineState, nsets*cfg.Ways)
-	for i := range c.sets {
-		c.sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
+	c.tags = make([]mem.Line, nsets*cfg.Ways)
+	for i := range c.tags {
+		c.tags[i] = invalidTag
 	}
+	c.meta = make([]lineMeta, nsets*cfg.Ways)
+	c.setMask = uint64(nsets - 1)
+	c.ways = cfg.Ways
 	c.mshr = make([]mshrEntry, cfg.MSHRs)
+	c.mshrLine = make([]mem.Line, cfg.MSHRs)
+	for i := range c.mshrLine {
+		c.mshrLine[i] = invalidTag
+	}
+	// Pre-slice wheel slots and MSHR waiter lists out of single backing
+	// arrays: both grow from nil on first use otherwise, which costs
+	// hundreds of small allocations per simulation. A slot or list that
+	// outgrows its pre-sliced capacity falls back to a normal append
+	// grow.
+	const slotCap = 4
+	wheelBuf := make([]*mem.Request, wheelSize*slotCap)
+	for i := range c.wheel {
+		c.wheel[i] = wheelBuf[i*slotCap : i*slotCap : (i+1)*slotCap]
+	}
+	const waiterCap = 4
+	waiterBuf := make([]*mem.Request, cfg.MSHRs*waiterCap)
+	for i := range c.mshr {
+		c.mshr[i].waiters = waiterBuf[i*waiterCap : i*waiterCap : (i+1)*waiterCap]
+	}
 	return c
 }
 
@@ -192,53 +245,57 @@ func (c *Cache) Pool() *mem.RequestPool { return c.pool }
 // Level returns the level's position in the hierarchy.
 func (c *Cache) Level() mem.Level { return c.cfg.Level }
 
-func (c *Cache) setOf(l mem.Line) []lineState {
-	return c.sets[uint64(l)&uint64(len(c.sets)-1)]
+// setBase returns the flat index of l's set's first way.
+func (c *Cache) setBase(l mem.Line) int {
+	return int(uint64(l)&c.setMask) * c.ways
 }
 
-// lookup finds the way holding l, or nil.
-func (c *Cache) lookup(l mem.Line) *lineState {
-	set := c.setOf(l)
-	for i := range set {
-		if set[i].valid && set[i].line == l {
-			return &set[i]
+// lookup finds the flat way index holding l, or -1.
+func (c *Cache) lookup(l mem.Line) int {
+	base := c.setBase(l)
+	tags := c.tags[base : base+c.ways]
+	for i := range tags {
+		if tags[i] == l {
+			return base + i
 		}
 	}
-	return nil
+	return -1
 }
 
 // Contains probes for a line without modifying any state. The SUF
 // accuracy oracle and the attack harness use it.
-func (c *Cache) Contains(l mem.Line) bool { return c.lookup(l) != nil }
+func (c *Cache) Contains(l mem.Line) bool { return c.lookup(l) >= 0 }
 
 // touch updates replacement state on a reference.
-func (c *Cache) touch(ls *lineState) {
+func (c *Cache) touch(w int) {
 	c.clock++
-	ls.lru = c.clock
-	ls.rrpv = 0 // SRRIP: referenced lines become near-imminent
+	c.meta[w].lru = c.clock
+	c.meta[w].rrpv = 0 // SRRIP: referenced lines become near-imminent
 }
 
-// victimIn selects the replacement victim in a full set.
-func (c *Cache) victimIn(set []lineState) *lineState {
+// victimIn selects the replacement victim in a full set, as a flat way
+// index.
+func (c *Cache) victimIn(base int) int {
+	meta := c.meta[base : base+c.ways]
 	if c.cfg.Policy == PolicySRRIP {
 		for {
-			for i := range set {
-				if set[i].rrpv >= 3 {
-					return &set[i]
+			for i := range meta {
+				if meta[i].rrpv >= 3 {
+					return base + i
 				}
 			}
-			for i := range set {
-				set[i].rrpv++
+			for i := range meta {
+				meta[i].rrpv++
 			}
 		}
 	}
-	v := &set[0]
-	for i := range set {
-		if set[i].lru < v.lru {
-			v = &set[i]
+	v := 0
+	for i := range meta {
+		if meta[i].lru < meta[v].lru {
+			v = i
 		}
 	}
-	return v
+	return base + v
 }
 
 // Enqueue routes a request to the appropriate queue. It returns false
@@ -265,8 +322,14 @@ func (c *Cache) Enqueue(r *mem.Request) bool {
 		}
 		c.rq.Push(r)
 	}
+	c.wake++
 	return true
 }
+
+// WakeCount is a monotonic counter of peer-delivered work: accepted
+// Enqueues and Completes. A scheduler holding the cache asleep past its
+// own NextEvent must re-arm it when the counter moves.
+func (c *Cache) WakeCount() uint64 { return c.wake }
 
 // Prefetch is the prefetcher-facing entry point: it wraps the target in
 // a request and enqueues it, returning false if the PQ is full.
@@ -425,14 +488,14 @@ func (c *Cache) handleRead(r *mem.Request) bool {
 	if r.SpecBypass {
 		return c.handleSpec(r)
 	}
-	ls := c.lookup(r.Line)
-	if ls == nil {
+	w := c.lookup(r.Line)
+	if w < 0 {
 		if !c.missTo(r, r.Kind) {
 			return false // MSHR full; retry without double-counting
 		}
 		c.Stats.Accesses[r.Kind]++
 		c.Stats.Misses[r.Kind]++
-		c.notifyAccess(r, nil) // r.MergedPrefetch set by missTo if merged
+		c.notifyAccess(r, -1) // r.MergedPrefetch set by missTo if merged
 		if c.Obs != nil {
 			c.Obs.Event(probe.Event{
 				Kind: probe.EvAccess, Site: c.site, Cycle: c.now,
@@ -442,22 +505,23 @@ func (c *Cache) handleRead(r *mem.Request) bool {
 		return true
 	}
 	c.Stats.Accesses[r.Kind]++
-	c.notifyAccess(r, ls)
+	c.notifyAccess(r, w)
 	if c.Obs != nil {
 		c.Obs.Event(probe.Event{
 			Kind: probe.EvAccess, Site: c.site, Cycle: c.now,
 			Seq: r.Timestamp, Line: r.Line, IP: r.IP, Req: r.Kind, Hit: true,
 		})
 	}
-	c.touch(ls)
-	if ls.prefetched {
-		ls.prefetched = false
+	c.touch(w)
+	m := &c.meta[w]
+	if m.flags&linePrefetched != 0 {
+		m.flags &^= linePrefetched
 		c.Stats.PrefUseful++
 		r.HitPrefetched = true
-		r.FillLat = ls.fetchLat
+		r.FillLat = m.fetchLat
 	}
 	if r.Kind == mem.KindRFO {
-		ls.dirty = true
+		m.flags |= lineDirty
 	}
 	c.respond(r, c.cfg.Level)
 	return true
@@ -470,10 +534,10 @@ func (c *Cache) handleRead(r *mem.Request) bool {
 // analyzes — but the eventual response does not install the line at
 // this level (invisible speculation).
 func (c *Cache) handleSpec(r *mem.Request) bool {
-	ls := c.lookup(r.Line)
-	if ls != nil {
+	w := c.lookup(r.Line)
+	if w >= 0 {
 		c.Stats.SpecAccesses++
-		c.notifySpec(r, ls)
+		c.notifySpec(r, w)
 		if c.Obs != nil {
 			c.Obs.Event(probe.Event{
 				Kind: probe.EvAccess, Site: c.site, Cycle: c.now,
@@ -484,11 +548,12 @@ func (c *Cache) handleSpec(r *mem.Request) bool {
 		// The stored prefetch latency travels with the response (the
 		// X-LQ Hitp case) and the use is counted for accuracy
 		// statistics — measurement, not architectural state.
-		if ls.prefetched {
-			ls.prefetched = false
+		m := &c.meta[w]
+		if m.flags&linePrefetched != 0 {
+			m.flags &^= linePrefetched
 			c.Stats.PrefUseful++
 			r.HitPrefetched = true
-			r.FillLat = ls.fetchLat
+			r.FillLat = m.fetchLat
 		}
 		c.respond(r, c.cfg.Level)
 		return true
@@ -496,9 +561,12 @@ func (c *Cache) handleSpec(r *mem.Request) bool {
 	// Merge with an in-flight fetch of the same line (the shared,
 	// timestamp-ordered MSHR of GhostMinion). Merging with an in-flight
 	// prefetch is the secure system's "late prefetch" event.
-	for i := range c.mshr {
-		e := &c.mshr[i]
-		if e.valid && e.line == r.Line {
+	for i, l := range c.mshrLine {
+		if l != r.Line {
+			continue
+		}
+		{
+			e := &c.mshr[i]
 			if e.kind == mem.KindPrefetch {
 				r.MergedPrefetch = true
 				c.Stats.PrefLate++
@@ -507,7 +575,7 @@ func (c *Cache) handleSpec(r *mem.Request) bool {
 			c.Stats.SpecAccesses++
 			c.Stats.SpecMisses++
 			c.Stats.MSHRMerges++
-			c.notifySpec(r, nil)
+			c.notifySpec(r, -1)
 			if c.Obs != nil {
 				c.Obs.Event(probe.Event{
 					Kind: probe.EvMerge, Site: c.site, Cycle: c.now,
@@ -524,7 +592,7 @@ func (c *Cache) handleSpec(r *mem.Request) bool {
 	}
 	c.Stats.SpecAccesses++
 	c.Stats.SpecMisses++
-	c.notifySpec(r, nil)
+	c.notifySpec(r, -1)
 	if c.Obs != nil {
 		c.Obs.Event(probe.Event{
 			Kind: probe.EvAccess, Site: c.site, Cycle: c.now,
@@ -539,30 +607,30 @@ func (c *Cache) handleSpec(r *mem.Request) bool {
 	return true
 }
 
-// notifySpec invokes the speculative-access hook.
-func (c *Cache) notifySpec(r *mem.Request, ls *lineState) {
+// notifySpec invokes the speculative-access hook; w < 0 means miss.
+func (c *Cache) notifySpec(r *mem.Request, w int) {
 	if c.OnSpecAccess == nil {
 		return
 	}
-	ai := AccessInfo{Line: r.Line, IP: r.IP, Kind: r.Kind, Hit: ls != nil, Merged: r.MergedPrefetch, Cycle: c.now}
-	if ls != nil && ls.prefetched {
+	ai := AccessInfo{Line: r.Line, IP: r.IP, Kind: r.Kind, Hit: w >= 0, Merged: r.MergedPrefetch, Cycle: c.now}
+	if w >= 0 && c.meta[w].flags&linePrefetched != 0 {
 		ai.HitPrefetched = true
-		ai.PrefFetchLat = ls.fetchLat
+		ai.PrefFetchLat = c.meta[w].fetchLat
 	}
 	c.OnSpecAccess(ai)
 }
 
 // handleWrite processes one WQ entry; returns false to retry.
 func (c *Cache) handleWrite(r *mem.Request) bool {
-	if ls := c.lookup(r.Line); ls != nil {
+	if w := c.lookup(r.Line); w >= 0 {
 		// Write hit. For commit writes and clean propagations this is
 		// the "data already found at this level" case: the access costs
 		// the port/bandwidth and refreshes LRU, and propagation stops
 		// here (the redundant work SUF exists to avoid).
 		c.Stats.Accesses[r.Kind]++
-		c.touch(ls)
+		c.touch(w)
 		if r.Dirty {
-			ls.dirty = true
+			c.meta[w].flags |= lineDirty
 		}
 		if r.Owner != nil {
 			c.respond(r, c.cfg.Level)
@@ -603,13 +671,13 @@ func (c *Cache) handlePrefetch(r *mem.Request) bool {
 		}
 		return true
 	}
-	if ls := c.lookup(r.Line); ls != nil {
+	if w := c.lookup(r.Line); w >= 0 {
 		// Already present. A locally-generated prefetch is redundant and
 		// dropped; a child of an upper level's MSHR must respond so the
 		// parent fill completes.
 		c.Stats.Accesses[r.Kind]++
 		c.Stats.PrefHitLocal++
-		c.touch(ls)
+		c.touch(w)
 		if r.Owner != nil {
 			c.respond(r, c.cfg.Level)
 		} else {
@@ -657,9 +725,12 @@ func (c *Cache) handlePrefetch(r *mem.Request) bool {
 // Returns false (retry) when the MSHR is full.
 func (c *Cache) missTo(r *mem.Request, kind mem.Kind) bool {
 	// Merge with an in-flight entry if present.
-	for i := range c.mshr {
-		e := &c.mshr[i]
-		if e.valid && e.line == r.Line {
+	for i, l := range c.mshrLine {
+		if l != r.Line {
+			continue
+		}
+		{
+			e := &c.mshr[i]
 			if e.kind == mem.KindPrefetch && kind.IsDemand() {
 				// Late prefetch: demand promotes the in-flight prefetch.
 				e.kind = kind
@@ -697,9 +768,12 @@ func (c *Cache) missTo(r *mem.Request, kind mem.Kind) bool {
 // missToPrefetch allocates an MSHR for a prefetch miss; returns false
 // if none is free (caller drops the prefetch).
 func (c *Cache) missToPrefetch(r *mem.Request) bool {
-	for i := range c.mshr {
-		e := &c.mshr[i]
-		if e.valid && e.line == r.Line {
+	for i, l := range c.mshrLine {
+		if l != r.Line {
+			continue
+		}
+		{
+			e := &c.mshr[i]
 			// Already being fetched. A waiting child rides along; a
 			// local prefetch needs nothing — unless the entry is a
 			// speculative probe, in which case the (non-speculative)
@@ -729,8 +803,8 @@ func (c *Cache) missToPrefetch(r *mem.Request) bool {
 
 // allocMSHR reserves a free MSHR slot, returning its index or -1.
 func (c *Cache) allocMSHR() int {
-	for i := range c.mshr {
-		if !c.mshr[i].valid {
+	for i, l := range c.mshrLine {
+		if l == invalidTag {
 			c.inUse++
 			return i
 		}
@@ -739,10 +813,11 @@ func (c *Cache) allocMSHR() int {
 }
 
 func (c *Cache) initMSHR(idx int, r *mem.Request, kind mem.Kind, fillLevel mem.Level) {
+	c.mshrLine[idx] = r.Line
 	e := &c.mshr[idx]
 	*e = mshrEntry{
 		valid:     true,
-		line:      r.Line,
+		slot:      idx,
 		kind:      kind,
 		waiters:   append(e.waiters[:0], r),
 		alloc:     c.now,
@@ -788,6 +863,7 @@ func (c *Cache) initMSHR(idx int, r *mem.Request, kind mem.Kind, fillLevel mem.L
 // entry index rides in OwnerTag and is stable until the fill completes
 // the entry.
 func (c *Cache) Complete(r *mem.Request) {
+	c.wake++
 	c.fills.Push(fillRecord{req: r, entry: &c.mshr[r.OwnerTag]})
 }
 
@@ -802,24 +878,25 @@ func (c *Cache) applyFill(fr *fillRecord) bool {
 		c.pool.Put(fr.req)
 		return true
 	}
-	set := c.setOf(fr.req.Line)
-	var way *lineState
-	for i := range set {
-		if set[i].valid && set[i].line == fr.req.Line {
-			way = &set[i] // refill of a present line (races are benign)
+	base := c.setBase(fr.req.Line)
+	way := -1
+	tags := c.tags[base : base+c.ways]
+	for i := range tags {
+		if tags[i] == fr.req.Line {
+			way = base + i // refill of a present line (races are benign)
 			break
 		}
 	}
-	if way == nil {
-		for i := range set {
-			if !set[i].valid {
-				way = &set[i]
+	if way < 0 {
+		for i := range tags {
+			if tags[i] == invalidTag {
+				way = base + i
 				break
 			}
 		}
 	}
-	if way == nil {
-		way = c.victimIn(set)
+	if way < 0 {
+		way = c.victimIn(base)
 		if !c.evict(way) {
 			return false
 		}
@@ -829,28 +906,32 @@ func (c *Cache) applyFill(fr *fillRecord) bool {
 	if fr.entry != nil {
 		lat = c.now - fr.entry.alloc
 	}
-	*way = lineState{
-		line:       fr.req.Line,
-		valid:      true,
-		dirty:      fr.dirty,
-		prefetched: isPref,
-		fetchLat:   lat,
-		rrpv:       2, // SRRIP: long re-reference on insertion
+	c.tags[way] = fr.req.Line
+	m := &c.meta[way]
+	*m = lineMeta{
+		fetchLat: lat,
+		rrpv:     2, // SRRIP: long re-reference on insertion
+	}
+	if fr.dirty {
+		m.flags |= lineDirty
 	}
 	if isPref {
-		way.rrpv = 3 // prefetches insert with a distant prediction
+		m.flags |= linePrefetched
+		m.rrpv = 3 // prefetches insert with a distant prediction
 	}
 	if fr.isWrite && !fr.dirty {
 		// Clean install via commit write or GhostMinion propagation:
 		// bit 0 of the carried writeback bits is this level's
 		// propagate-on-eviction flag, the rest belong to levels above.
-		way.propagate = fr.wbb&1 != 0
-		way.wbbRest = fr.wbb >> 1
+		if fr.wbb&1 != 0 {
+			m.flags |= linePropagate
+		}
+		m.wbbRest = fr.wbb >> 1
 	}
 	// Refresh recency without touch(): touch would clear the SRRIP
 	// insertion prediction set above.
 	c.clock++
-	way.lru = c.clock
+	m.lru = c.clock
 	if isPref {
 		c.Stats.PrefFilled++
 	}
@@ -887,37 +968,40 @@ func (c *Cache) applyFill(fr *fillRecord) bool {
 // evict removes a valid line, emitting a writeback when the line is
 // dirty or marked for GhostMinion propagation. Returns false when the
 // writeback could not be enqueued.
-func (c *Cache) evict(ls *lineState) bool {
-	if !ls.valid {
+func (c *Cache) evict(w int) bool {
+	line := c.tags[w]
+	if line == invalidTag {
 		return true
 	}
-	if (ls.dirty || ls.propagate) && c.next != nil {
+	m := &c.meta[w]
+	dirty := m.flags&lineDirty != 0
+	if (dirty || m.flags&linePropagate != 0) && c.next != nil {
 		wb := c.pool.Get()
-		wb.Line = ls.line
+		wb.Line = line
 		wb.Kind = mem.KindWriteback
 		wb.Issued = c.now
-		wb.Dirty = ls.dirty
-		wb.WBBits = ls.wbbRest
+		wb.Dirty = dirty
+		wb.WBBits = m.wbbRest
 		if !c.next.Enqueue(wb) {
 			c.pool.Put(wb)
 			return false
 		}
 		c.Stats.WritebacksOut++
-		if !ls.dirty {
+		if !dirty {
 			c.Stats.PropagationsOut++
 		}
 	}
 	c.Stats.Evictions++
 	if c.OnEvict != nil {
-		c.OnEvict(ls.line)
+		c.OnEvict(line)
 	}
 	if c.Obs != nil {
 		c.Obs.Event(probe.Event{
 			Kind: probe.EvEvict, Site: c.site, Cycle: c.now,
-			Line: ls.line, Hit: ls.dirty, Aux: uint64(ls.wbbRest),
+			Line: line, Hit: dirty, Aux: uint64(m.wbbRest),
 		})
 	}
-	ls.valid = false
+	c.tags[w] = invalidTag
 	return true
 }
 
@@ -943,8 +1027,8 @@ func (c *Cache) completeMSHR(e *mshrEntry, child *mem.Request) {
 			}
 			if w.Kind == mem.KindRFO {
 				// The freshly installed line is dirty.
-				if ls := c.lookup(w.Line); ls != nil {
-					ls.dirty = true
+				if idx := c.lookup(w.Line); idx >= 0 {
+					c.meta[idx].flags |= lineDirty
 				}
 			}
 		}
@@ -955,13 +1039,15 @@ func (c *Cache) completeMSHR(e *mshrEntry, child *mem.Request) {
 		}
 	}
 	e.valid = false
+	c.mshrLine[e.slot] = invalidTag
 	e.child = nil
 	e.waiters = e.waiters[:0]
 	c.inUse--
 }
 
-// notifyAccess invokes the training hook for demand accesses.
-func (c *Cache) notifyAccess(r *mem.Request, ls *lineState) {
+// notifyAccess invokes the training hook for demand accesses; w < 0
+// means miss.
+func (c *Cache) notifyAccess(r *mem.Request, w int) {
 	if c.OnAccess == nil || !r.Kind.IsDemand() && r.Kind != mem.KindRefetch {
 		return
 	}
@@ -969,13 +1055,13 @@ func (c *Cache) notifyAccess(r *mem.Request, ls *lineState) {
 		Line:   r.Line,
 		IP:     r.IP,
 		Kind:   r.Kind,
-		Hit:    ls != nil,
+		Hit:    w >= 0,
 		Merged: r.MergedPrefetch,
 		Cycle:  c.now,
 	}
-	if ls != nil && ls.prefetched {
+	if w >= 0 && c.meta[w].flags&linePrefetched != 0 {
 		ai.HitPrefetched = true
-		ai.PrefFetchLat = ls.fetchLat
+		ai.PrefFetchLat = c.meta[w].fetchLat
 	}
 	c.OnAccess(ai)
 }

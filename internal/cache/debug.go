@@ -26,7 +26,7 @@ func (c *Cache) DebugMSHR() []string {
 		e := &c.mshr[i]
 		if e.valid {
 			out = append(out, fmt.Sprintf("line=%#x kind=%v waiters=%d fwd=%v alloc=%d fill=%v",
-				uint64(e.line), e.kind, len(e.waiters), e.forwarded, e.alloc, e.fillLevel))
+				uint64(c.mshrLine[i]), e.kind, len(e.waiters), e.forwarded, e.alloc, e.fillLevel))
 		}
 	}
 	return out

@@ -77,17 +77,17 @@ func TestNoDuplicateLinesInSet(t *testing.T) {
 			c.Enqueue(&mem.Request{Line: l, Kind: mem.KindLoad})
 		}
 		now = runTicks(c, now, rng.Intn(2)+1)
-		for s := range c.sets {
+		for s := 0; s <= int(c.setMask); s++ {
 			seen := map[mem.Line]bool{}
-			for i := range c.sets[s] {
-				ls := &c.sets[s][i]
-				if !ls.valid {
+			for w := s * c.ways; w < (s+1)*c.ways; w++ {
+				line := c.tags[w]
+				if line == invalidTag {
 					continue
 				}
-				if seen[ls.line] {
-					t.Fatalf("op %d: line %#x duplicated in set %d", op, uint64(ls.line), s)
+				if seen[line] {
+					t.Fatalf("op %d: line %#x duplicated in set %d", op, uint64(line), s)
 				}
-				seen[ls.line] = true
+				seen[line] = true
 			}
 		}
 	}

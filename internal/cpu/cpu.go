@@ -136,6 +136,28 @@ type Core struct {
 	head, tail int // ring [head, tail)
 	count      int
 
+	// wake counts externally delivered work (load completions). The
+	// event-driven engine re-examines the core's schedule whenever it
+	// moves; see WakeCount.
+	wake uint64
+
+	// Bulk-decode buffer for sources supporting trace.BatchSource;
+	// batcher is nil when the source only does one-at-a-time reads.
+	batcher  trace.BatchSource
+	batch    []trace.Instr
+	batchPos int
+
+	// Issue gate: when a full issueLoads pass issues nothing and every
+	// examined load is blocked on an observable signal — a producer
+	// load's completion (wake), a version-gated port (verPort), or a
+	// translation finishing at a known cycle — the scan is provably
+	// fruitless until one of those moves, and Tick skips it. place()
+	// drops the gate when a new load enters the window.
+	gateValid bool
+	gateWake  uint64
+	gateVer   uint64
+	gateUntil mem.Cycle // earliest translation-ready cycle (NoEvent if none)
+
 	lqFree  int
 	nextLQ  int
 	stores  ring.Buf[*mem.Request]
@@ -190,7 +212,37 @@ func New(cfg Config, src trace.Source, loads LoadPort, storeTo StorePort) *Core 
 	if vp, ok := loads.(VersionedPort); ok {
 		c.verPort = vp
 	}
+	if b, ok := src.(trace.BatchSource); ok {
+		c.batcher = b
+		c.batch = make([]trace.Instr, 0, dispatchBatch)
+	}
 	return c
+}
+
+// dispatchBatch is how many instructions one ReadBatch call decodes.
+// Large enough to amortize the per-call source chain (Repeat wrapping
+// Offset wrapping a slice), small enough that the buffer stays resident
+// in L1.
+const dispatchBatch = 256
+
+// nextInstr fetches the next trace instruction, refilling the batch
+// buffer when the source supports bulk decode.
+func (c *Core) nextInstr() (trace.Instr, bool) {
+	if c.batchPos < len(c.batch) {
+		in := c.batch[c.batchPos]
+		c.batchPos++
+		return in, true
+	}
+	if c.batcher != nil {
+		n := c.batcher.ReadBatch(c.batch[:dispatchBatch])
+		if n == 0 {
+			return trace.Instr{}, false
+		}
+		c.batch = c.batch[:n]
+		c.batchPos = 1
+		return c.batch[0], true
+	}
+	return c.src.Next()
 }
 
 // SetPool shares the machine-wide request pool with the core.
@@ -294,7 +346,7 @@ func (c *Core) dispatch() {
 			if c.srcDone {
 				return
 			}
-			next, ok := c.src.Next()
+			next, ok := c.nextInstr()
 			if !ok {
 				c.srcDone = true
 				return
@@ -339,6 +391,7 @@ func (c *Core) place(in trace.Instr) {
 		}
 		c.lastLoad = c.tail
 		c.pendLoads = append(c.pendLoads, c.tail)
+		c.gateValid = false // new load entered the scheduling window
 		c.Stats.Loads++
 	} else {
 		e.done = true
@@ -356,21 +409,65 @@ const issueWindow = 16
 // not completed are skipped (younger independent loads may issue —
 // that is the memory-level parallelism of an OoO core).
 func (c *Core) issueLoads() {
+	if c.gateValid {
+		// A previous pass proved every window-visible load blocked on a
+		// completion, a port version, or a translation deadline; skip
+		// the scan until one of those moves (see the gate fields).
+		ver := uint64(0)
+		if c.verPort != nil {
+			ver = c.verPort.StateVersion()
+		}
+		if c.wake == c.gateWake && ver == c.gateVer && c.now < c.gateUntil {
+			return
+		}
+		c.gateValid = false
+	}
 	issued := 0
+	gate := true
+	until := mem.NoEvent
 	kept := c.pendLoads[:0]
 	for i, idx := range c.pendLoads {
 		if issued >= c.cfg.IssueLoadsPerCycle || i >= issueWindow {
+			// Loads beyond the window stay invisible until a window
+			// entry issues, so an all-blocked window still gates.
 			kept = append(kept, c.pendLoads[i:]...)
 			break
 		}
 		e := &c.rob[idx]
 		if !c.tryIssue(e, idx) {
 			kept = append(kept, idx)
+			// Classify the block, mirroring tryIssue's checks in order:
+			// only observable blocks keep the pass gateable.
+			switch {
+			case e.depIdx >= 0 && func() bool {
+				dep := &c.rob[e.depIdx]
+				return dep.isLoad && dep.seq < e.seq && !dep.retired && !dep.done
+			}():
+				// Producer completion arrives via Complete (wake).
+			case e.transReady > c.now:
+				if e.transReady < until {
+					until = e.transReady
+				}
+			case e.portBlocked && c.verPort != nil:
+				// Retry is version-gated; a fresh rejection just
+				// recorded the current version.
+			default:
+				gate = false // unobservable (e.g. unversioned port)
+			}
 			continue
 		}
 		issued++
 	}
 	c.pendLoads = kept
+	if issued == 0 && gate && len(kept) > 0 {
+		c.gateValid = true
+		c.gateWake = c.wake
+		c.gateVer = 0
+		if c.verPort != nil {
+			c.gateVer = c.verPort.StateVersion()
+		}
+		c.gateUntil = until
+	}
 }
 
 // tryIssue attempts to send one load; it returns true when the load no
@@ -439,6 +536,7 @@ func (c *Core) tryIssue(e *robEntry, idx int) bool {
 // slot rides in OwnerTag; a stale response (entry recycled — loads pin
 // entries, so this is defensive) only recycles the request.
 func (c *Core) Complete(r *mem.Request) {
+	c.wake++
 	ent := &c.rob[r.OwnerTag]
 	if ent.seq != r.Timestamp || !ent.isLoad || ent.req != r {
 		c.pool.Put(r)
@@ -459,6 +557,13 @@ func (c *Core) Complete(r *mem.Request) {
 	}
 	c.pool.Put(r)
 }
+
+// WakeCount is a monotonic counter of peer-delivered work: it moves
+// whenever a load completion arrives. A scheduler holding the core
+// asleep past its own NextEvent must re-arm it when the counter moves
+// (or when the versioned load port's StateVersion moves — the one
+// unblocking event with no completion attached).
+func (c *Core) WakeCount() uint64 { return c.wake }
 
 // NextEvent reports the earliest future cycle at which the core has
 // work of its own. mem.NoEvent means every remaining step waits on an
@@ -508,6 +613,18 @@ func (c *Core) NextEvent(now mem.Cycle) mem.Cycle {
 				return min // dispatch reads the source
 			}
 			earliest(c.stallUntil)
+		}
+	}
+	if c.gateValid && c.wake == c.gateWake {
+		// The issue gate already classified every window-visible load:
+		// all blocked externally except translations due at gateUntil.
+		ver := uint64(0)
+		if c.verPort != nil {
+			ver = c.verPort.StateVersion()
+		}
+		if ver == c.gateVer {
+			earliest(c.gateUntil)
+			return next
 		}
 	}
 	n := len(c.pendLoads)

@@ -61,6 +61,10 @@ type DRAM struct {
 	resp      []pending
 	pool      *mem.RequestPool
 
+	// wake counts externally delivered work (accepted enqueues); see
+	// WakeCount.
+	wake uint64
+
 	// Stats is the channel's counter block.
 	Stats stats.DRAMStats
 
@@ -100,6 +104,7 @@ func (d *DRAM) Enqueue(r *mem.Request) bool {
 			return false
 		}
 		d.wq = append(d.wq, queued{r, d.now})
+		d.wake++
 		return true
 	}
 	if len(d.rq) >= d.cfg.RQSize {
@@ -107,8 +112,14 @@ func (d *DRAM) Enqueue(r *mem.Request) bool {
 		return false
 	}
 	d.rq = append(d.rq, queued{r, d.now})
+	d.wake++
 	return true
 }
+
+// WakeCount is a monotonic counter of peer-delivered work (accepted
+// Enqueues). A scheduler holding the channel asleep past its own
+// NextEvent must re-arm it when the counter moves.
+func (d *DRAM) WakeCount() uint64 { return d.wake }
 
 // Tick advances the channel one cycle.
 func (d *DRAM) Tick(now mem.Cycle) {

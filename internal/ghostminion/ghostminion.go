@@ -17,6 +17,8 @@
 package ghostminion
 
 import (
+	"math/bits"
+
 	"secpref/internal/cache"
 	"secpref/internal/mem"
 	"secpref/internal/probe"
@@ -66,9 +68,17 @@ type FullUpdate struct{}
 // OnCommit implements Filter.
 func (FullUpdate) OnCommit(mem.Line, mem.Level) (bool, uint8) { return false, 0b11 }
 
-type gmLine struct {
-	line      mem.Line
-	valid     bool
+// GM line state is struct-of-arrays, like the cache levels: the tag
+// slice is all a lookup touches (the GM is fully associative, so every
+// IssueLoad scans all of it), and the per-line metadata lives in a
+// parallel slice read only on hits, fills, commits, and squashes.
+//
+// gmInvalid marks an empty slot; the all-ones line address is
+// unreachable (address 0 is the only reserved trace value), so it
+// never collides with a real tag.
+const gmInvalid = ^mem.Line(0)
+
+type gmLineMeta struct {
 	timestamp uint64 // inserting instruction's program order
 	lru       uint32
 	servedBy  mem.Level // hit level recorded at fill (SUF input)
@@ -77,6 +87,7 @@ type gmLine struct {
 
 type gmMSHR struct {
 	valid     bool
+	slot      int // this entry's index (mshrFree mirror key)
 	line      mem.Line
 	timestamp uint64 // oldest waiter
 	alloc     mem.Cycle
@@ -90,13 +101,40 @@ type commitUpdate struct {
 
 // GM is the GhostMinion speculative cache plus its commit engine.
 type GM struct {
-	cfg    Config
-	lines  []gmLine
-	mshr   []gmMSHR
-	l1d    *cache.Cache
-	clock  uint32
-	now    mem.Cycle
-	filter Filter
+	cfg   Config
+	tags  []mem.Line   // per-line tag; gmInvalid = empty slot
+	lmeta []gmLineMeta // parallel per-line metadata
+	// sig is a conservative presence signature over tags: bit line&63
+	// is set for every live line (and possibly for stale ones — bits
+	// are only reclaimed by periodic rebuilds, see noteStale). A clear
+	// bit proves the line absent, so the common lookup miss skips the
+	// tag scan entirely; a set bit just falls through to the scan.
+	sig      uint64
+	sigStale int
+	mshr     []gmMSHR
+	// mshrFree is a bitmask of free MSHR slots (bit i of word i/64 set
+	// = slot i free): allocation takes the lowest set bit — the same
+	// slot a first-free linear scan would pick — without striding over
+	// the entries.
+	mshrFree []uint64
+	// mshrLine mirrors each live MSHR entry's line (gmInvalid when the
+	// slot is free or canceled), so the per-load merge scan walks a
+	// compact tag array instead of the entries.
+	mshrLine []mem.Line
+	// mshrMaxTs is a conservative upper bound on the timestamps of live
+	// MSHR entries (raised on fetch start, tightened whenever a full
+	// leapfrog scan runs). A leapfrog needs a victim strictly younger
+	// than the incoming load, so ts >= mshrMaxTs proves there is none
+	// without scanning.
+	mshrMaxTs uint64
+	l1d       *cache.Cache
+	clock     uint32
+	now       mem.Cycle
+	filter    Filter
+
+	// wake counts externally delivered work (accepted loads, probe
+	// completions, commits, squashes); see WakeCount.
+	wake uint64
 
 	// retryq holds loads displaced by leapfrogging, awaiting re-issue.
 	retryq ring.Buf[*mem.Request]
@@ -140,15 +178,37 @@ func New(cfg Config, l1d *cache.Cache, filter Filter) *GM {
 	if filter == nil {
 		filter = FullUpdate{}
 	}
-	return &GM{
+	g := &GM{
 		cfg:    cfg,
-		lines:  make([]gmLine, cfg.Lines),
+		tags:   make([]mem.Line, cfg.Lines),
+		lmeta:  make([]gmLineMeta, cfg.Lines),
 		mshr:   make([]gmMSHR, cfg.MSHRs),
 		l1d:    l1d,
 		filter: filter,
 		pool:   &mem.RequestPool{},
 	}
+	for i := range g.tags {
+		g.tags[i] = gmInvalid
+	}
+	g.mshrFree = make([]uint64, (cfg.MSHRs+63)/64)
+	for i := 0; i < cfg.MSHRs; i++ {
+		g.mshrMarkFree(i)
+	}
+	g.mshrLine = make([]mem.Line, cfg.MSHRs)
+	for i := range g.mshrLine {
+		g.mshrLine[i] = gmInvalid
+	}
+	// Pre-slice waiter lists from one backing array (see cache.New).
+	const waiterCap = 4
+	waiterBuf := make([]*mem.Request, cfg.MSHRs*waiterCap)
+	for i := range g.mshr {
+		g.mshr[i].waiters = waiterBuf[i*waiterCap : i*waiterCap : (i+1)*waiterCap]
+	}
+	return g
 }
+
+func (g *GM) mshrMarkFree(i int) { g.mshrFree[i>>6] |= 1 << uint(i&63) }
+func (g *GM) mshrMarkUsed(i int) { g.mshrFree[i>>6] &^= 1 << uint(i&63) }
 
 // SetPool shares the machine-wide request pool with the GM.
 func (g *GM) SetPool(p *mem.RequestPool) { g.pool = p }
@@ -164,27 +224,56 @@ func (g *GM) StateVersion() uint64 { return g.ver }
 // SetFilter replaces the commit filter (used to toggle SUF).
 func (g *GM) SetFilter(f Filter) { g.filter = f }
 
+// sigRebuildAfter bounds signature staleness: after this many tag
+// invalidations the signature is recomputed from the live tags, so
+// dead bits cannot accumulate into an always-pass filter.
+const sigRebuildAfter = 8
+
+func sigBit(l mem.Line) uint64 { return 1 << uint(l&63) }
+
+// noteStale records one tag invalidation and periodically rebuilds the
+// signature from scratch.
+func (g *GM) noteStale() {
+	g.sigStale++
+	if g.sigStale < sigRebuildAfter {
+		return
+	}
+	g.sigStale = 0
+	var sig uint64
+	for _, t := range g.tags {
+		if t != gmInvalid {
+			sig |= sigBit(t)
+		}
+	}
+	g.sig = sig
+}
+
 // Contains probes the GM without state changes.
 func (g *GM) Contains(l mem.Line) bool {
-	for i := range g.lines {
-		if g.lines[i].valid && g.lines[i].line == l {
+	if g.sig&sigBit(l) == 0 {
+		return false
+	}
+	for _, t := range g.tags {
+		if t == l {
 			return true
 		}
 	}
 	return false
 }
 
-// lookupVisible returns the GM entry for l visible to an instruction
-// with the given timestamp under TimeGuarding (insertions by younger
-// instructions are invisible).
-func (g *GM) lookupVisible(l mem.Line, ts uint64) *gmLine {
-	for i := range g.lines {
-		e := &g.lines[i]
-		if e.valid && e.line == l && e.timestamp <= ts {
-			return e
+// lookupVisible returns the slot index of the GM entry for l visible
+// to an instruction with the given timestamp under TimeGuarding
+// (insertions by younger instructions are invisible), or -1.
+func (g *GM) lookupVisible(l mem.Line, ts uint64) int {
+	if g.sig&sigBit(l) == 0 {
+		return -1
+	}
+	for i, t := range g.tags {
+		if t == l && g.lmeta[i].timestamp <= ts {
+			return i
 		}
 	}
-	return nil
+	return -1
 }
 
 // IssueLoad accepts a speculative load. The request's Done fires when
@@ -192,8 +281,18 @@ func (g *GM) lookupVisible(l mem.Line, ts uint64) *gmLine {
 // fills the GM). Returns false when the load cannot be accepted this
 // cycle (MSHR full and not leapfroggable); the core retries.
 func (g *GM) IssueLoad(r *mem.Request) bool {
-	return g.issueLoad(r, true, true)
+	if !g.issueLoad(r, true, true) {
+		return false
+	}
+	g.wake++
+	return true
 }
+
+// WakeCount is a monotonic counter of peer-delivered work: accepted
+// loads, probe completions, commits, and squashes. A scheduler holding
+// the GM asleep past its own NextEvent must re-arm it when the counter
+// moves.
+func (g *GM) WakeCount() uint64 { return g.wake }
 
 // issueLoad implements IssueLoad; countStats is false for internal
 // re-issues of leapfrog-displaced loads (the architectural access was
@@ -201,7 +300,7 @@ func (g *GM) IssueLoad(r *mem.Request) bool {
 // restriction displaced loads and fresh younger loads cancel each other
 // in a ping-pong that wastes a memory fetch per round.
 func (g *GM) issueLoad(r *mem.Request, countStats, allowLeapfrog bool) bool {
-	if e := g.lookupVisible(r.Line, r.Timestamp); e != nil {
+	if w := g.lookupVisible(r.Line, r.Timestamp); w >= 0 {
 		if countStats {
 			g.Stats.Accesses[mem.KindLoad]++
 			if g.Obs != nil {
@@ -216,7 +315,7 @@ func (g *GM) issueLoad(r *mem.Request, countStats, allowLeapfrog bool) bool {
 			g.OnAccess(r.Line, r.IP, true, g.now)
 		}
 		g.clock++
-		e.lru = g.clock
+		g.lmeta[w].lru = g.clock
 		r.ServedBy = mem.LvlL1D // GM counts as the lowest level
 		g.respond(r)
 		return true
@@ -225,9 +324,9 @@ func (g *GM) issueLoad(r *mem.Request, countStats, allowLeapfrog bool) bool {
 	// may ride along only if the fill it will observe comes from an
 	// older-or-equal instruction. Fills adopt the oldest waiter's
 	// timestamp, so merging is always safe for younger requests.
-	for i := range g.mshr {
-		e := &g.mshr[i]
-		if e.valid && !e.canceled && e.line == r.Line {
+	for i, l := range g.mshrLine {
+		if l == r.Line {
+			e := &g.mshr[i]
 			e.waiters = append(e.waiters, r)
 			if r.Timestamp < e.timestamp {
 				e.timestamp = r.Timestamp
@@ -275,21 +374,25 @@ const leapfrogMaxAge = 16
 // youngest recently-started entry that is strictly younger than ts.
 // Returns the entry index, or -1.
 func (g *GM) allocMSHR(ts uint64, allowLeapfrog bool) int {
-	if g.mshrInUse < len(g.mshr) {
-		for i := range g.mshr {
-			if !g.mshr[i].valid {
-				return i
-			}
+	for w, m := range g.mshrFree {
+		if m != 0 {
+			return w<<6 | bits.TrailingZeros64(m)
 		}
 	}
-	if !allowLeapfrog {
+	if !allowLeapfrog || ts >= g.mshrMaxTs {
 		return -1
 	}
 	// Leapfrog: displace the youngest entry if it is younger than the
 	// incoming request (strictness ordering favors older instructions).
+	// The scan also recomputes the exact timestamp maximum, re-tightening
+	// mshrMaxTs (merges lower entry timestamps after the bound was set).
 	victim := -1
+	maxTs := uint64(0)
 	for i := range g.mshr {
 		e := &g.mshr[i]
+		if e.timestamp > maxTs {
+			maxTs = e.timestamp
+		}
 		if e.canceled || g.now-e.alloc > leapfrogMaxAge {
 			continue
 		}
@@ -297,6 +400,7 @@ func (g *GM) allocMSHR(ts uint64, allowLeapfrog bool) int {
 			victim = i
 		}
 	}
+	g.mshrMaxTs = maxTs
 	if victim < 0 {
 		return -1
 	}
@@ -321,6 +425,8 @@ func (g *GM) allocMSHR(ts uint64, allowLeapfrog bool) int {
 	*v = gmMSHR{}
 	v.waiters = waiters // keep the backing array for reuse
 	g.mshrInUse--
+	g.mshrMarkFree(victim)
+	g.mshrLine[victim] = gmInvalid
 	return victim
 }
 
@@ -330,12 +436,18 @@ func (g *GM) startFetch(idx int, r *mem.Request) {
 	e := &g.mshr[idx]
 	*e = gmMSHR{
 		valid:     true,
+		slot:      idx,
 		line:      r.Line,
 		timestamp: r.Timestamp,
 		alloc:     g.now,
 		waiters:   append(e.waiters[:0], r),
 	}
 	g.mshrInUse++
+	g.mshrMarkUsed(idx)
+	g.mshrLine[idx] = r.Line
+	if r.Timestamp > g.mshrMaxTs {
+		g.mshrMaxTs = r.Timestamp
+	}
 	g.ver++
 	probe := g.pool.Get()
 	probe.Line = r.Line
@@ -358,6 +470,7 @@ func (g *GM) startFetch(idx int, r *mem.Request) {
 // recycled for another line) are dropped: the speculative data simply
 // never lands in the GM. Either way the probe terminates here.
 func (g *GM) Complete(pr *mem.Request) {
+	g.wake++
 	e := &g.mshr[pr.OwnerTag]
 	if e.valid && !e.canceled && e.line == pr.Line {
 		g.fill(e, pr)
@@ -374,9 +487,7 @@ type pendingProbe struct {
 func (g *GM) fill(e *gmMSHR, pr *mem.Request) {
 	lat := g.now - e.alloc
 	servedBy := pr.ServedBy
-	g.insertLine(gmLine{
-		line:      e.line,
-		valid:     true,
+	g.insertLine(e.line, gmLineMeta{
 		timestamp: e.timestamp,
 		servedBy:  servedBy,
 		fetchLat:  lat,
@@ -419,36 +530,40 @@ func (g *GM) fill(e *gmMSHR, pr *mem.Request) {
 	e.valid = false
 	e.waiters = e.waiters[:0]
 	g.mshrInUse--
+	g.mshrMarkFree(e.slot)
+	g.mshrLine[e.slot] = gmInvalid
 	g.ver++
 }
 
 // insertLine places a line in the GM, evicting the oldest-timestamp
 // entry when full (an evicted speculative line is simply dropped; its
 // commit will take the re-fetch path).
-func (g *GM) insertLine(nl gmLine) {
-	var slot *gmLine
-	for i := range g.lines {
-		e := &g.lines[i]
-		if e.valid && e.line == nl.line {
-			slot = e
+func (g *GM) insertLine(line mem.Line, nl gmLineMeta) {
+	slot := -1
+	for i, t := range g.tags {
+		if t == line {
+			slot = i
 			break
 		}
-		if slot == nil && !e.valid {
-			slot = e
+		if slot < 0 && t == gmInvalid {
+			slot = i
 		}
 	}
-	if slot == nil {
-		slot = &g.lines[0]
-		for i := range g.lines {
-			if g.lines[i].timestamp < slot.timestamp {
-				slot = &g.lines[i]
+	if slot < 0 {
+		slot = 0
+		for i := range g.lmeta {
+			if g.lmeta[i].timestamp < g.lmeta[slot].timestamp {
+				slot = i
 			}
 		}
 		g.Stats.Evictions++
+		g.noteStale() // the evicted line's signature bit goes stale
 	}
 	g.clock++
 	nl.lru = g.clock
-	*slot = nl
+	g.tags[slot] = line
+	g.lmeta[slot] = nl
+	g.sig |= sigBit(line)
 }
 
 // respond schedules r's completion after the GM latency.
@@ -471,14 +586,8 @@ func (g *GM) CanCommit() bool { return g.commitq.Len() < g.cfg.CommitQueue }
 // hit level (from the GM line, or the level tracked in the load queue)
 // is supplied by the caller, which owns the LQ.
 func (g *GM) Commit(line mem.Line, ts uint64, hitLevel mem.Level, cs *stats.CoreStats) {
-	var gme *gmLine
-	for i := range g.lines {
-		e := &g.lines[i]
-		if e.valid && e.line == line && e.timestamp <= ts {
-			gme = e
-			break
-		}
-	}
+	g.wake++
+	gme := g.lookupVisible(line, ts)
 	drop, wbb := g.filter.OnCommit(line, hitLevel)
 	if g.Obs != nil {
 		g.Obs.Event(probe.Event{
@@ -500,12 +609,13 @@ func (g *GM) Commit(line mem.Line, ts uint64, hitLevel mem.Level, cs *stats.Core
 			cs.SUFDropWrong++
 		}
 		// The committed line's GM entry is released either way.
-		if gme != nil {
-			gme.valid = false
+		if gme >= 0 {
+			g.tags[gme] = gmInvalid
+			g.noteStale()
 		}
 		return
 	}
-	if gme != nil {
+	if gme >= 0 {
 		cs.CommitGMHits++
 		if g.Obs != nil {
 			g.Obs.Event(probe.Event{
@@ -519,7 +629,8 @@ func (g *GM) Commit(line mem.Line, ts uint64, hitLevel mem.Level, cs *stats.Core
 		r.Kind = mem.KindCommitWrite
 		r.Issued = g.now
 		r.WBBits = wbb
-		gme.valid = false
+		g.tags[gme] = gmInvalid
+		g.noteStale()
 		g.commitq.Push(r)
 		return
 	}
@@ -545,15 +656,17 @@ func (g *GM) Commit(line mem.Line, ts uint64, hitLevel mem.Level, cs *stats.Core
 // squash; note the non-speculative hierarchy is untouched, which is
 // exactly GhostMinion's security argument.
 func (g *GM) Squash(ts uint64) {
+	g.wake++
 	if g.Obs != nil {
 		g.Obs.Event(probe.Event{
 			Kind: probe.EvSquash, Site: probe.SiteGM, Cycle: g.now,
 			Seq: ts, Spec: true,
 		})
 	}
-	for i := range g.lines {
-		if g.lines[i].valid && g.lines[i].timestamp >= ts {
-			g.lines[i].valid = false
+	for i, t := range g.tags {
+		if t != gmInvalid && g.lmeta[i].timestamp >= ts {
+			g.tags[i] = gmInvalid
+			g.noteStale()
 		}
 	}
 	for i := range g.mshr {
@@ -562,6 +675,8 @@ func (g *GM) Squash(ts uint64) {
 			e.canceled = true
 			e.valid = false
 			g.mshrInUse--
+			g.mshrMarkFree(i)
+			g.mshrLine[i] = gmInvalid
 			for j := range e.waiters {
 				e.waiters[j] = nil
 			}

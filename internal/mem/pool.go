@@ -38,8 +38,20 @@ func (p *RequestPool) Get() *Request {
 		return r
 	}
 	p.News++
-	return &Request{poolState: pooledLive}
+	// Refill in chunks: one backing allocation covers the next
+	// poolChunk checkouts, so a growing live set costs O(chunks)
+	// allocations instead of one per request.
+	chunk := make([]Request, poolChunk)
+	for i := len(chunk) - 1; i > 0; i-- {
+		chunk[i].poolState = pooledFree
+		p.free = append(p.free, &chunk[i])
+	}
+	chunk[0].poolState = pooledLive
+	return &chunk[0]
 }
+
+// poolChunk is the refill batch size; see Get.
+const poolChunk = 64
 
 // Put recycles a request obtained from Get. Requests not owned by a
 // pool are ignored; double-Put of a pooled request panics, since it

@@ -53,12 +53,21 @@ const (
 	maxIssuePerTrigger = 4
 )
 
-type histEntry struct {
-	ipHash uint32
-	line   mem.Line
-	ts     mem.Cycle
-	valid  bool
+// The access history is struct-of-arrays: Observe's timely-delta
+// search filters almost every entry out by IP hash alone, so the tag
+// column is scanned on its own (1 KiB for the whole history instead of
+// a stride over ~4 KB of full records) and the line/timestamp columns
+// are read only on tag matches. A tag is the 32-bit IP hash with
+// histLive ORed in; never-written slots hold zero, which no live tag
+// can equal, so validity costs no separate column or branch.
+type history struct {
+	tag  [historySize]uint64
+	line [historySize]mem.Line
+	ts   [historySize]mem.Cycle
 }
+
+// histLive marks an occupied history slot; see history.
+const histLive = uint64(1) << 32
 
 type deltaEntry struct {
 	delta int32
@@ -75,7 +84,7 @@ type ipDeltas struct {
 
 // Prefetcher is the Berti/TSB engine.
 type Prefetcher struct {
-	hist    [historySize]histEntry
+	hist    history
 	histPos int
 	table   [deltaIPs]ipDeltas
 	clock   uint32
@@ -126,7 +135,9 @@ func (p *Prefetcher) Train(ev prefetch.Event) {
 	// hits neither insert history nor trigger — per the Berti design,
 	// they would pollute delta timing).
 	if !ev.Hit || ev.HitPrefetched {
-		p.hist[p.histPos] = histEntry{ipHash: h, line: ev.Line, ts: ev.Cycle, valid: true}
+		p.hist.tag[p.histPos] = uint64(h) | histLive
+		p.hist.line[p.histPos] = ev.Line
+		p.hist.ts[p.histPos] = ev.Cycle
 		p.histPos = (p.histPos + 1) % historySize
 	}
 	p.issueDeltas(h, ev.Line, ev.IP)
@@ -146,32 +157,32 @@ func (p *Prefetcher) Observe(ip mem.Addr, line mem.Line, refTime mem.Cycle, late
 	h := ipHash(ip)
 	e := p.tableFor(h)
 	e.searches++
-	var best, second *histEntry
-	for i := range p.hist {
-		he := &p.hist[i]
-		if !he.valid || he.ipHash != h || he.line == line {
+	tag := uint64(h) | histLive
+	best, second := -1, -1
+	for i := range p.hist.tag {
+		if p.hist.tag[i] != tag || p.hist.line[i] == line {
 			continue
 		}
-		if he.ts+latency > refTime {
+		if p.hist.ts[i]+latency > refTime {
 			continue
 		}
 		switch {
-		case best == nil || he.ts > best.ts:
+		case best < 0 || p.hist.ts[i] > p.hist.ts[best]:
 			second = best
-			best = he
-		case second == nil || he.ts > second.ts:
-			second = he
+			best = i
+		case second < 0 || p.hist.ts[i] > p.hist.ts[second]:
+			second = i
 		}
 	}
 	// The two nearest timely candidates vote: the minimal timely delta
 	// plus the next one back, giving the issuer a second step of
 	// lookahead depth (Berti's delta table holds several live deltas
 	// per IP; nearest-only voting would collapse it to one).
-	for _, he := range [...]*histEntry{best, second} {
-		if he == nil {
+	for _, he := range [...]int{best, second} {
+		if he < 0 {
 			continue
 		}
-		if d := int32(int64(line) - int64(he.line)); d != 0 {
+		if d := int32(int64(line) - int64(p.hist.line[he])); d != 0 {
 			p.bump(e, d)
 		}
 	}

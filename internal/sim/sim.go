@@ -9,6 +9,7 @@ import (
 	"secpref/internal/cpu"
 	"secpref/internal/dram"
 	"secpref/internal/energy"
+	"secpref/internal/event"
 	"secpref/internal/ghostminion"
 	"secpref/internal/mem"
 	"secpref/internal/prefetch"
@@ -22,6 +23,20 @@ import (
 // ErrNoProgress reports a wedged simulation (a modeling bug, not a
 // workload property); it aborts rather than spinning forever.
 var ErrNoProgress = errors.New("sim: no instruction retired for too long")
+
+// Component ranks: each component's fixed position in the calendar
+// queue, identical to the lockstep tick order. Ties at the same cycle
+// tick in ascending rank order, so the event-driven engine processes
+// simultaneous wakeups exactly as step() would.
+const (
+	rankCore = iota
+	rankGM
+	rankL1D
+	rankL2
+	rankLLC
+	rankDRAM
+	numRanks
+)
 
 // Machine is one assembled single-core system.
 type Machine struct {
@@ -61,6 +76,15 @@ type Machine struct {
 	winNext  uint64
 	winLast  uint64
 	winStart mem.Cycle
+
+	// Calendar-queue engine state (see runUntil / advanceTo). lastWake
+	// and lastGMVer are the wake counters / GM state version observed
+	// when each rank was last (re)scheduled; a component whose counter
+	// moved was handed work by a peer and must tick even if its own
+	// schedule says otherwise.
+	evq       *event.Queue
+	lastWake  [numRanks]uint64
+	lastGMVer uint64
 
 	now mem.Cycle
 }
@@ -423,59 +447,119 @@ func (m *Machine) step() {
 	m.mem.Tick(m.now)
 }
 
-// nextEvent returns the earliest cycle any component has work of its
-// own (mem.NoEvent if the whole machine is quiescent, which the run
-// loop treats as a wedge). NextEvent never returns a cycle ≤ now, so
-// the moment any component reports now+1 no other can beat it — the
-// probe short-circuits, which keeps its cost negligible on busy cycles
-// (the common case on compute-bound traces, where the skip never fires).
-func (m *Machine) nextEvent() mem.Cycle {
-	min := m.now + 1
-	next := m.core.NextEvent(m.now)
-	if next == min {
-		return next
+// primeSchedule (re)builds the calendar from scratch: every rank is
+// scheduled at its component's own NextEvent and the wake counters are
+// snapshotted. Called at the top of each runUntil so the calendar is
+// correct regardless of what happened between runs (warmup boundary,
+// stats reset, window arming).
+func (m *Machine) primeSchedule() {
+	if m.evq == nil {
+		m.evq = event.New(numRanks)
 	}
+	m.evq.Schedule(rankCore, m.core.NextEvent(m.now))
+	m.lastWake[rankCore] = m.core.WakeCount()
 	if m.gm != nil {
-		if t := m.gm.NextEvent(m.now); t < next {
-			if t == min {
-				return t
-			}
-			next = t
-		}
+		m.evq.Schedule(rankGM, m.gm.NextEvent(m.now))
+		m.lastWake[rankGM] = m.gm.WakeCount()
+		m.lastGMVer = m.gm.StateVersion()
 	}
-	for _, c := range [...]*cache.Cache{m.l1d, m.l2, m.llc} {
-		if t := c.NextEvent(m.now); t < next {
-			if t == min {
-				return t
-			}
-			next = t
-		}
-	}
-	if t := m.mem.NextEvent(m.now); t < next {
-		next = t
-	}
-	return next
+	m.evq.Schedule(rankL1D, m.l1d.NextEvent(m.now))
+	m.lastWake[rankL1D] = m.l1d.WakeCount()
+	m.evq.Schedule(rankL2, m.l2.NextEvent(m.now))
+	m.lastWake[rankL2] = m.l2.WakeCount()
+	m.evq.Schedule(rankLLC, m.llc.NextEvent(m.now))
+	m.lastWake[rankLLC] = m.llc.WakeCount()
+	m.evq.Schedule(rankDRAM, m.mem.NextEvent(m.now))
+	m.lastWake[rankDRAM] = m.mem.WakeCount()
 }
 
-// skipTo fast-forwards the machine to cycle target-1 (so the next step
-// ticks exactly at target), integrating the per-cycle statistics every
-// component would have accumulated over the skipped idle cycles. Legal
-// only when nextEvent() returned target: nothing architectural happens
-// in the window, so the run is bit-identical to stepping through it.
-func (m *Machine) skipTo(target mem.Cycle) {
-	k := target - m.now - 1
-	if k == 0 {
-		return
+// advanceTo moves the machine from m.now to cycle t (t > m.now). The
+// gap (m.now, t) is provably idle for every component — t is the
+// calendar's earliest wake, possibly clamped down — so all components
+// first SkipIdle across it (exact: identical to empty Ticks). Cycle t
+// itself is then processed in rank order: a component ticks if its
+// schedule is due, if a peer handed it work (wake counter moved), or —
+// for the core — if the GM's state version moved (port-blocked loads
+// retry on version change); otherwise it integrates one empty cycle at
+// its rank position via SkipIdle. Running the idle components' SkipIdle
+// *in rank order with the ticks* keeps every cross-component clock read
+// bit-identical to lockstep stepping: a component poked by a
+// lower-ranked peer still shows t-1, one poked by a higher-ranked peer
+// shows t.
+func (m *Machine) advanceTo(t mem.Cycle) {
+	if k := t - m.now - 1; k > 0 {
+		m.core.SkipIdle(m.now, k)
+		if m.gm != nil {
+			m.gm.SkipIdle(k)
+		}
+		m.l1d.SkipIdle(k)
+		m.l2.SkipIdle(k)
+		m.llc.SkipIdle(k)
+		m.mem.SkipIdle(k)
+		m.now += k
 	}
-	m.core.SkipIdle(m.now, k)
+	m.now = t
+	var ticked [numRanks]bool
+
+	if m.evq.At(rankCore) <= t || m.core.WakeCount() != m.lastWake[rankCore] ||
+		(m.gm != nil && m.gm.StateVersion() != m.lastGMVer) {
+		m.core.Tick(t)
+		ticked[rankCore] = true
+	} else {
+		m.core.SkipIdle(t-1, 1)
+	}
 	if m.gm != nil {
-		m.gm.SkipIdle(k)
+		if m.evq.At(rankGM) <= t || m.gm.WakeCount() != m.lastWake[rankGM] {
+			m.gm.Tick(t)
+			ticked[rankGM] = true
+		} else {
+			m.gm.SkipIdle(1)
+		}
 	}
-	m.l1d.SkipIdle(k)
-	m.l2.SkipIdle(k)
-	m.llc.SkipIdle(k)
-	m.mem.SkipIdle(k)
-	m.now += k
+	caches := [...]*cache.Cache{m.l1d, m.l2, m.llc}
+	for i, c := range caches {
+		r := rankL1D + i
+		if m.evq.At(r) <= t || c.WakeCount() != m.lastWake[r] {
+			c.Tick(t)
+			ticked[r] = true
+		} else {
+			c.SkipIdle(1)
+		}
+	}
+	if m.evq.At(rankDRAM) <= t || m.mem.WakeCount() != m.lastWake[rankDRAM] {
+		m.mem.Tick(t)
+		ticked[rankDRAM] = true
+	} else {
+		m.mem.SkipIdle(1)
+	}
+
+	// Re-arm: a rank that ticked, or that was poked during this cycle
+	// (wake counter moved — including pokes from higher-ranked peers
+	// after its slot passed), gets a fresh schedule. Untouched ranks
+	// keep their existing calendar entry.
+	if ticked[rankCore] || m.core.WakeCount() != m.lastWake[rankCore] ||
+		(m.gm != nil && m.gm.StateVersion() != m.lastGMVer) {
+		m.evq.Schedule(rankCore, m.core.NextEvent(t))
+		m.lastWake[rankCore] = m.core.WakeCount()
+		if m.gm != nil {
+			m.lastGMVer = m.gm.StateVersion()
+		}
+	}
+	if m.gm != nil && (ticked[rankGM] || m.gm.WakeCount() != m.lastWake[rankGM]) {
+		m.evq.Schedule(rankGM, m.gm.NextEvent(t))
+		m.lastWake[rankGM] = m.gm.WakeCount()
+	}
+	for i, c := range caches {
+		r := rankL1D + i
+		if ticked[r] || c.WakeCount() != m.lastWake[r] {
+			m.evq.Schedule(r, c.NextEvent(t))
+			m.lastWake[r] = c.WakeCount()
+		}
+	}
+	if ticked[rankDRAM] || m.mem.WakeCount() != m.lastWake[rankDRAM] {
+		m.evq.Schedule(rankDRAM, m.mem.NextEvent(t))
+		m.lastWake[rankDRAM] = m.mem.WakeCount()
+	}
 }
 
 // resetStats zeroes every counter block (end of warmup).
@@ -509,31 +593,56 @@ func Run(cfg Config, src trace.Source) (*Result, error) {
 // tolerates before declaring the simulation wedged.
 const wedgeWindow = 500_000
 
-// runUntil steps until the core has retired n more instructions (or the
-// trace ends), failing on wedge or cycle budget exhaustion. When every
-// component is provably idle it fast-forwards to the next scheduled
-// event instead of ticking dead cycles (see docs/performance.md); the
-// skip is clamped so the wedge and budget errors fire on exactly the
-// cycle they would with per-cycle stepping.
+// runUntil advances the machine until the core has retired n more
+// instructions (or the trace ends), failing on wedge or cycle budget
+// exhaustion.
+//
+// The default engine is event-driven: the calendar queue (see
+// advanceTo) yields the earliest cycle any component is due, the
+// machine jumps there in one advance, and only due or freshly-poked
+// components tick. A fully quiescent machine — empty trace tail,
+// every component idle, calendar empty — yields mem.NoEvent; the
+// clamps below turn that into a single bounded jump to the wedge (or
+// budget) boundary, where the same ErrNoProgress / budget error fires
+// on exactly the cycle per-cycle stepping would have reported, instead
+// of the engine spinning through wedgeWindow dead iterations one cycle
+// at a time. The noSkip path keeps the lockstep reference engine that
+// the equivalence tests compare against.
 func (m *Machine) runUntil(n uint64, maxCycles mem.Cycle) error {
 	target := m.core.Stats.Instructions + n
 	lastProgress := m.now
 	lastCount := m.core.Stats.Instructions
-	for m.core.Stats.Instructions < target && !m.core.Done() {
-		if !m.noSkip {
-			if next := m.nextEvent(); next > m.now+1 {
-				if limit := lastProgress + wedgeWindow + 1; next > limit {
-					next = limit
-				}
-				if limit := maxCycles + 1; next > limit {
-					next = limit
-				}
-				if next > m.now+1 {
-					m.skipTo(next)
+	if m.noSkip {
+		for m.core.Stats.Instructions < target && !m.core.Done() {
+			m.step()
+			if m.winObs != nil && m.core.Stats.Instructions >= m.winNext {
+				m.sampleWindow()
+				for m.core.Stats.Instructions >= m.winNext {
+					m.winNext += m.winEvery
 				}
 			}
+			if m.core.Stats.Instructions != lastCount {
+				lastCount = m.core.Stats.Instructions
+				lastProgress = m.now
+			} else if m.now-lastProgress > wedgeWindow {
+				return ErrNoProgress
+			}
+			if m.now > maxCycles {
+				return fmt.Errorf("sim: cycle budget exhausted (%d cycles, %d instructions)", m.now, m.core.Stats.Instructions)
+			}
 		}
-		m.step()
+		return nil
+	}
+	m.primeSchedule()
+	for m.core.Stats.Instructions < target && !m.core.Done() {
+		next := m.evq.Next() // > m.now, or mem.NoEvent when quiescent
+		if limit := lastProgress + wedgeWindow + 1; next > limit {
+			next = limit
+		}
+		if limit := maxCycles + 1; next > limit {
+			next = limit
+		}
+		m.advanceTo(next)
 		if m.winObs != nil && m.core.Stats.Instructions >= m.winNext {
 			m.sampleWindow()
 			for m.core.Stats.Instructions >= m.winNext {
