@@ -14,6 +14,8 @@
 //	                          # of each, median per-pair probe overhead
 //	bench -update FILE        # rewrite FILE's "after" section in place
 //	bench -check FILE -tol 25 # exit 1 if >tol% slower than FILE's "after"
+//	bench -history FILE       # append a JSONL record; exit 1 if >tol%
+//	                          # slower than the median of the last 5
 //	bench -cpuprofile cpu.out # also write a CPU profile of the runs
 //	bench -memprofile mem.out # also write an allocation profile
 package main
@@ -26,8 +28,10 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strings"
 	"time"
 
+	"secpref/internal/observatory"
 	"secpref/internal/probe"
 	"secpref/internal/sim"
 	"secpref/internal/trace"
@@ -36,11 +40,12 @@ import (
 
 // Measurement is one benchmark observation.
 type Measurement struct {
-	Date         string  `json:"date,omitempty"`
-	GoVersion    string  `json:"go_version,omitempty"`
-	NsPerOp      float64 `json:"ns_per_op"`
-	InstrsPerSec float64 `json:"instrs_per_sec"`
-	AllocsPerOp  float64 `json:"allocs_per_op"`
+	Date          string  `json:"date,omitempty"`
+	GoVersion     string  `json:"go_version,omitempty"`
+	EngineVersion string  `json:"engine_version,omitempty"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	InstrsPerSec  float64 `json:"instrs_per_sec"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
 }
 
 // Baseline is the checked-in before/after record (BENCH_baseline.json).
@@ -59,10 +64,10 @@ type Baseline struct {
 
 const scenario = "602.gcc-1850B, 50k instrs, secure GhostMinion + TSB + SUF + Berti"
 
-func measureOnce(probed bool) (Measurement, error) {
+func measureOnce(probed bool) (Measurement, uint64, error) {
 	tr, err := workload.Get("602.gcc-1850B", workload.Params{Instrs: 50_000, Seed: 1})
 	if err != nil {
-		return Measurement{}, err
+		return Measurement{}, 0, err
 	}
 	cfg := sim.DefaultConfig()
 	cfg.WarmupInstrs = 0
@@ -89,15 +94,24 @@ func measureOnce(probed bool) (Measurement, error) {
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&ms1)
 	if err != nil {
-		return Measurement{}, err
+		return Measurement{}, 0, err
+	}
+	// The result fingerprint hashes the full serialized Result: identical
+	// across runs (the simulator is deterministic), identical between
+	// plain and probed (probes never change outcomes), and different
+	// whenever a change moves any simulated number.
+	raw, err := json.Marshal(res)
+	if err != nil {
+		return Measurement{}, 0, err
 	}
 	return Measurement{
-		Date:         time.Now().UTC().Format("2006-01-02"),
-		GoVersion:    runtime.Version(),
-		NsPerOp:      float64(elapsed.Nanoseconds()),
-		InstrsPerSec: float64(res.Instructions) / elapsed.Seconds(),
-		AllocsPerOp:  float64(ms1.Mallocs - ms0.Mallocs),
-	}, nil
+		Date:          time.Now().UTC().Format("2006-01-02"),
+		GoVersion:     runtime.Version(),
+		EngineVersion: sim.EngineVersion,
+		NsPerOp:       float64(elapsed.Nanoseconds()),
+		InstrsPerSec:  float64(res.Instructions) / elapsed.Seconds(),
+		AllocsPerOp:   float64(ms1.Mallocs - ms0.Mallocs),
+	}, observatory.HashBytes(raw), nil
 }
 
 // median returns the middle value of xs (mean of the two middle values
@@ -115,28 +129,68 @@ func median(xs []float64) float64 {
 	}
 }
 
+// clampOverhead turns the per-pair overhead deltas into a headline
+// number that cannot report phantom speedups: when the median is
+// negative but within the pairing noise band — twice the median
+// absolute deviation, floored at half a percentage point — the probes
+// are indistinguishable from free and the overhead is 0. A negative
+// median beyond the band is kept as-is: that is a real anomaly the
+// reader should see, not noise to hide.
+func clampOverhead(deltas []float64) float64 {
+	med := median(deltas)
+	if med >= 0 {
+		return med
+	}
+	dev := make([]float64, len(deltas))
+	for i, d := range deltas {
+		dev[i] = d - med
+		if dev[i] < 0 {
+			dev[i] = -dev[i]
+		}
+	}
+	band := 2 * median(dev)
+	if band < 0.5 {
+		band = 0.5
+	}
+	if -med <= band {
+		return 0
+	}
+	return med
+}
+
 // measure runs plain and probed back to back `runs` times and reports
-// the best of each plus the median per-pair probe overhead. Pairing the
-// two within each iteration cancels the drift (page cache, frequency
-// scaling, heap shape) that made two sequential best-of-N batches
-// report a negative overhead: the second batch always ran warmer.
-func measure(runs int) (plain, probed Measurement, overheadPct float64, err error) {
+// the best of each plus the noise-clamped median per-pair probe
+// overhead and the simulation's output digest. Pairing the two within
+// each iteration cancels the drift (page cache, frequency scaling,
+// heap shape) that made two sequential best-of-N batches report a
+// negative overhead: the second batch always ran warmer.
+func measure(runs int) (plain, probed Measurement, overheadPct float64, digest uint64, err error) {
 	// One untimed warmup pair (page cache, branch predictors, heap shape).
-	if _, err = measureOnce(false); err != nil {
+	if _, _, err = measureOnce(false); err != nil {
 		return
 	}
-	if _, err = measureOnce(true); err != nil {
+	if _, _, err = measureOnce(true); err != nil {
 		return
 	}
 	deltas := make([]float64, 0, runs)
 	for i := 0; i < runs; i++ {
 		var m, p Measurement
-		if m, err = measureOnce(false); err != nil {
+		var md, pd uint64
+		if m, md, err = measureOnce(false); err != nil {
 			return
 		}
-		if p, err = measureOnce(true); err != nil {
+		if p, pd, err = measureOnce(true); err != nil {
 			return
 		}
+		if md != pd {
+			err = fmt.Errorf("probed run changed the simulation output: digest %#x != %#x", pd, md)
+			return
+		}
+		if digest != 0 && md != digest {
+			err = fmt.Errorf("non-deterministic simulation output: digest %#x != %#x", md, digest)
+			return
+		}
+		digest = md
 		deltas = append(deltas, (p.NsPerOp/m.NsPerOp-1)*100)
 		// Best time, minimum allocations: the sim's allocation count is
 		// deterministic, and MemStats noise (background runtime goroutines)
@@ -161,13 +215,92 @@ func measure(runs int) (plain, probed Measurement, overheadPct float64, err erro
 			probed.AllocsPerOp = p.AllocsPerOp
 		}
 	}
-	return plain, probed, median(deltas), nil
+	return plain, probed, clampOverhead(deltas), digest, nil
+}
+
+// HistoryRecord is one line of BENCH_history.jsonl: enough context to
+// explain a throughput shift (engine version, scenario, toolchain) and
+// an output digest so behavioral changes are distinguishable from pure
+// performance ones.
+type HistoryRecord struct {
+	Date              string  `json:"date"`
+	GoVersion         string  `json:"go_version"`
+	EngineVersion     string  `json:"engine_version"`
+	Scenario          string  `json:"scenario"`
+	NsPerOp           float64 `json:"ns_per_op"`
+	InstrsPerSec      float64 `json:"instrs_per_sec"`
+	AllocsPerOp       float64 `json:"allocs_per_op"`
+	ProbedNsPerOp     float64 `json:"probed_ns_per_op"`
+	ProbedAllocsPerOp float64 `json:"probed_allocs_per_op"`
+	ProbeOverheadPct  float64 `json:"probe_overhead_pct"`
+	OutputDigest      string  `json:"output_digest"`
+}
+
+// readHistory parses a JSONL history file, ignoring blank lines. A
+// missing file is an empty history, not an error.
+func readHistory(path string) ([]HistoryRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var recs []HistoryRecord
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var r HistoryRecord
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, i+1, err)
+		}
+		recs = append(recs, r)
+	}
+	return recs, nil
+}
+
+// checkHistory compares rec against the median NsPerOp of the last (up
+// to) 5 prior same-scenario records — the median absorbs one noisy CI
+// runner — and reports a non-nil error when rec is more than tol%
+// slower. It also returns a human note when the output digest moved,
+// which is informational: a modeling change legitimately shifts the
+// digest, but the reader should know the comparison crosses one.
+func checkHistory(prior []HistoryRecord, rec HistoryRecord, tol float64) (note string, err error) {
+	var same []HistoryRecord
+	for _, p := range prior {
+		if p.Scenario == rec.Scenario {
+			same = append(same, p)
+		}
+	}
+	if len(same) == 0 {
+		return "no prior history for this scenario; recorded as first entry", nil
+	}
+	if len(same) > 5 {
+		same = same[len(same)-5:]
+	}
+	ns := make([]float64, len(same))
+	for i, p := range same {
+		ns[i] = p.NsPerOp
+	}
+	ref := median(ns)
+	slowdown := (rec.NsPerOp/ref - 1) * 100
+	note = fmt.Sprintf("vs median of last %d record(s): %+.1f%% (tolerance %.0f%%)", len(same), slowdown, tol)
+	if last := same[len(same)-1]; last.OutputDigest != rec.OutputDigest {
+		note += fmt.Sprintf("; output digest changed (%s -> %s)", last.OutputDigest, rec.OutputDigest)
+	}
+	if slowdown > tol {
+		return note, fmt.Errorf("throughput regression: %.1f ms/op is %.1f%% slower than history median %.1f ms/op (tolerance %.0f%%)",
+			rec.NsPerOp/1e6, slowdown, ref/1e6, tol)
+	}
+	return note, nil
 }
 
 func main() {
 	runs := flag.Int("runs", 3, "measurement runs (best is reported)")
 	update := flag.String("update", "", "baseline file whose 'after' section to rewrite")
 	check := flag.String("check", "", "baseline file to compare against")
+	history := flag.String("history", "", "JSONL history file to append to and regression-check against")
 	tol := flag.Float64("tol", 25, "allowed slowdown vs baseline 'after', percent")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measurement runs to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile (after the runs) to this file")
@@ -195,7 +328,7 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	m, mp, overhead, err := measure(*runs)
+	m, mp, overhead, digest, err := measure(*runs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
@@ -265,11 +398,57 @@ func main() {
 			os.Exit(1)
 		}
 	default:
+		if *history != "" {
+			break
+		}
 		out, _ := json.MarshalIndent(&struct {
 			Plain            Measurement `json:"plain"`
 			Probed           Measurement `json:"probed"`
 			ProbeOverheadPct float64     `json:"probe_overhead_pct"`
-		}{m, mp, overhead}, "", "  ")
+			OutputDigest     string      `json:"output_digest"`
+		}{m, mp, overhead, fmt.Sprintf("%016x", digest)}, "", "  ")
 		fmt.Println(string(out))
+	}
+
+	if *history != "" {
+		prior, err := readHistory(*history)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		rec := HistoryRecord{
+			Date:              m.Date,
+			GoVersion:         m.GoVersion,
+			EngineVersion:     m.EngineVersion,
+			Scenario:          scenario,
+			NsPerOp:           m.NsPerOp,
+			InstrsPerSec:      m.InstrsPerSec,
+			AllocsPerOp:       m.AllocsPerOp,
+			ProbedNsPerOp:     mp.NsPerOp,
+			ProbedAllocsPerOp: mp.AllocsPerOp,
+			ProbeOverheadPct:  overhead,
+			OutputDigest:      fmt.Sprintf("%016x", digest),
+		}
+		note, herr := checkHistory(prior, rec, *tol)
+		// Append before deciding: a regressed record still belongs in the
+		// history, and the last-5 median absorbs it going forward.
+		line, _ := json.Marshal(&rec)
+		f, err := os.OpenFile(*history, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		if _, err := f.Write(append(line, '\n')); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("history %s: appended %.1f ms/op, %.0f instrs/s, %.0f allocs; %s\n",
+			*history, rec.NsPerOp/1e6, rec.InstrsPerSec, rec.AllocsPerOp, note)
+		if herr != nil {
+			fmt.Fprintln(os.Stderr, "bench:", herr)
+			os.Exit(1)
+		}
 	}
 }

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestMedian(t *testing.T) {
 	cases := []struct {
@@ -25,5 +30,101 @@ func TestMedian(t *testing.T) {
 	median(xs)
 	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
 		t.Errorf("median mutated its input: %v", xs)
+	}
+}
+
+func TestClampOverhead(t *testing.T) {
+	cases := []struct {
+		name   string
+		deltas []float64
+		want   float64
+	}{
+		{"positive passes through", []float64{1.2, 2.0, 1.5}, 1.5},
+		{"zero passes through", []float64{0, 0, 0}, 0},
+		// Median -0.9 with tight spread: within the 0.5pp floor? No —
+		// deviations are {0.1, 0, 0.2}, MAD 0.1, band max(0.2, 0.5)=0.5,
+		// and 0.9 > 0.5, so the negative survives as a visible anomaly.
+		{"large negative kept", []float64{-1.0, -0.9, -0.7}, -0.9},
+		// Median -0.3 is inside the 0.5pp floor: clamp to 0.
+		{"small negative clamped by floor", []float64{-0.4, -0.3, -0.1}, 0},
+		// Median -2 but deviations {3, 0, 3}: MAD 3, band 6, clamp.
+		{"noisy negative clamped by MAD band", []float64{-5, -2, 1}, 0},
+		// Median -8, deviations {1, 0, 1}: band max(2, 0.5)=2 < 8 — keep.
+		{"consistent large negative kept", []float64{-9, -8, -7}, -8},
+	}
+	for _, c := range cases {
+		if got := clampOverhead(c.deltas); got != c.want {
+			t.Errorf("%s: clampOverhead(%v) = %v, want %v", c.name, c.deltas, got, c.want)
+		}
+	}
+}
+
+func historyFixture() []HistoryRecord {
+	mk := func(ns float64, digest string) HistoryRecord {
+		return HistoryRecord{Scenario: scenario, NsPerOp: ns, OutputDigest: digest}
+	}
+	return []HistoryRecord{
+		mk(100e6, "aaaa"), mk(102e6, "aaaa"), mk(98e6, "aaaa"),
+		mk(101e6, "aaaa"), mk(99e6, "aaaa"), mk(100e6, "bbbb"),
+	}
+}
+
+func TestCheckHistory(t *testing.T) {
+	prior := historyFixture()
+	// Median of the last 5 (102, 98, 101, 99, 100) is 100 ms/op.
+	rec := HistoryRecord{Scenario: scenario, NsPerOp: 110e6, OutputDigest: "bbbb"}
+	if note, err := checkHistory(prior, rec, 25); err != nil {
+		t.Errorf("10%% slowdown within 25%% tolerance should pass: %v (%s)", err, note)
+	}
+	rec.NsPerOp = 130e6
+	if _, err := checkHistory(prior, rec, 25); err == nil {
+		t.Error("30% slowdown beyond 25% tolerance should fail")
+	}
+	// A digest change is informational, never a failure.
+	rec.NsPerOp = 100e6
+	rec.OutputDigest = "cccc"
+	note, err := checkHistory(prior, rec, 25)
+	if err != nil {
+		t.Errorf("digest change alone should not fail: %v", err)
+	}
+	if !strings.Contains(note, "digest changed") {
+		t.Errorf("note should flag the digest change, got %q", note)
+	}
+	// Records from other scenarios must not enter the comparison.
+	other := append(historyFixture(), HistoryRecord{Scenario: "something else", NsPerOp: 1e6})
+	rec = HistoryRecord{Scenario: scenario, NsPerOp: 110e6, OutputDigest: "bbbb"}
+	if _, err := checkHistory(other, rec, 25); err != nil {
+		t.Errorf("foreign-scenario record skewed the median: %v", err)
+	}
+	// Empty history: first entry, no failure.
+	if note, err := checkHistory(nil, rec, 25); err != nil || !strings.Contains(note, "first entry") {
+		t.Errorf("empty history: note=%q err=%v", note, err)
+	}
+}
+
+func TestReadHistory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+	if recs, err := readHistory(path); err != nil || recs != nil {
+		t.Fatalf("missing file should be empty history, got %v, %v", recs, err)
+	}
+	data := `{"date":"2026-08-07","scenario":"s","ns_per_op":1,"output_digest":"ab"}
+
+{"date":"2026-08-08","scenario":"s","ns_per_op":2,"output_digest":"cd"}
+`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := readHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].NsPerOp != 1 || recs[1].OutputDigest != "cd" {
+		t.Fatalf("parsed %+v", recs)
+	}
+	if err := os.WriteFile(path, []byte("not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readHistory(path); err == nil {
+		t.Error("malformed line should error with its line number")
 	}
 }

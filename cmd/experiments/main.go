@@ -3,14 +3,18 @@
 // Usage:
 //
 //	experiments [-quick] [-instrs N] [-warmup N] [-mixes N] [-traces a,b,c]
-//	            [-timeseries DIR] [-http ADDR] [-leakage-gate]
-//	            [-fig id | -table n | -all]
+//	            [-timeseries DIR] [-http ADDR] [-leakage-gate] [-digest-gate]
+//	            [-simprofile PATH] [-fig id | -table n | -all]
 //
 // Each experiment prints the same rows/series the paper reports (see
 // DESIGN.md for the per-experiment index). -all runs everything in
 // paper order. -timeseries additionally exports a per-run interval
 // time series and request-lifecycle trace; -http serves live campaign
-// telemetry (Prometheus /metrics, expvar, pprof) while running. See
+// telemetry (Prometheus /metrics, expvar, pprof) while running;
+// -simprofile aggregates engine-attribution counters across every run
+// and writes the sim-profile table as PATH.json and PATH.csv;
+// -digest-gate verifies the event engine against the lockstep
+// reference at every state-digest checkpoint. See
 // docs/observability.md.
 package main
 
@@ -22,7 +26,9 @@ import (
 	"time"
 
 	"secpref/internal/experiments"
+	"secpref/internal/observatory"
 	"secpref/internal/probe"
+	"secpref/internal/sim"
 )
 
 // figChoices regenerates the -fig help from the experiment registry so
@@ -65,6 +71,8 @@ func main() {
 		timeseries = flag.String("timeseries", "", "export per-run interval time series and lifecycle traces into this directory")
 		httpAddr   = flag.String("http", "", "serve live campaign telemetry (/metrics, /debug/vars, /debug/pprof) on this address")
 		leakGate   = flag.Bool("leakage-gate", false, "fail unless the secure configuration audits zero tainted survivors and zero speculative trains (CI gate)")
+		digestGate = flag.Bool("digest-gate", false, "fail unless the event engine and the lockstep reference agree at every state-digest checkpoint (CI gate)")
+		simProfile = flag.String("simprofile", "", "aggregate engine-attribution profiling across all runs and write the sim-profile table as PATH.json and PATH.csv")
 	)
 	flag.Parse()
 
@@ -108,8 +116,8 @@ func main() {
 		ids = []string{id}
 	case *tabID != "":
 		ids = []string{"table" + *tabID}
-	case *leakGate:
-		// Gate-only invocation: no experiment tables, just the audit.
+	case *leakGate, *digestGate:
+		// Gate-only invocation: no experiment tables, just the checks.
 	case *timeseries != "":
 		// A time-series export with no experiment selected defaults to the
 		// miss-latency study — the figure its per-window metrics track.
@@ -120,10 +128,20 @@ func main() {
 	}
 
 	campaign := probe.NewCampaign(len(ids))
+	campaign.SetEngineVersion(sim.EngineVersion)
 	opts.Campaign = campaign
+	var aggregate *observatory.Aggregate
+	if *simProfile != "" {
+		aggregate = observatory.NewAggregate()
+		opts.Profile = aggregate
+	}
 	if *httpAddr != "" {
 		campaign.Publish()
-		addr, _, err := probe.Serve(*httpAddr, campaign)
+		var extra []probe.PrometheusWriter
+		if aggregate != nil {
+			extra = append(extra, aggregate)
+		}
+		addr, _, err := probe.Serve(*httpAddr, campaign, extra...)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: telemetry server: %v\n", err)
 			os.Exit(1)
@@ -168,7 +186,42 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "experiments: leakage gate passed in %.1fs (secure config audits clean; non-secure channels detected)\n", time.Since(start).Seconds())
 	}
+	if *digestGate {
+		start := time.Now()
+		if err := r.DigestEquivalenceGate(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: digest gate passed in %.1fs (event and reference engines agree at every checkpoint)\n", time.Since(start).Seconds())
+	}
+	if aggregate != nil {
+		if err := writeSimProfile(aggregate, *simProfile); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprint(os.Stderr, aggregate.String())
+		fmt.Fprintf(os.Stderr, "experiments: sim-profile table in %s.json and %s.csv\n", *simProfile, *simProfile)
+	}
 	if *timeseries != "" {
 		fmt.Fprintf(os.Stderr, "experiments: time series and lifecycle traces in %s\n", *timeseries)
 	}
+}
+
+// writeSimProfile exports the aggregated attribution table as
+// base.json and base.csv.
+func writeSimProfile(a *observatory.Aggregate, base string) error {
+	jf, err := os.Create(base + ".json")
+	if err != nil {
+		return err
+	}
+	defer jf.Close()
+	if err := a.WriteJSON(jf); err != nil {
+		return err
+	}
+	cf, err := os.Create(base + ".csv")
+	if err != nil {
+		return err
+	}
+	defer cf.Close()
+	return a.WriteCSV(cf)
 }

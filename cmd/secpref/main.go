@@ -8,8 +8,10 @@
 //
 // -timeseries additionally exports an interval time series
 // (<base>.series.json/.csv) and a Perfetto-loadable request-lifecycle
-// trace (<base>.trace.json) into the given directory; see
-// docs/observability.md.
+// trace (<base>.trace.json) into the given directory; -simprofile
+// attaches engine-attribution profiling and writes the sim-profile
+// table as PATH.json/.csv (plus PATH.trace.json counter tracks when
+// combined with -timeseries); see docs/observability.md.
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"secpref"
 	"secpref/internal/leakage"
 	"secpref/internal/mem"
+	"secpref/internal/observatory"
 	"secpref/internal/probe"
 	"secpref/internal/trace"
 )
@@ -40,6 +43,7 @@ func main() {
 		list      = flag.Bool("list", false, "list available traces and exit")
 		tsDir     = flag.String("timeseries", "", "export interval time series and lifecycle trace into this directory")
 		leak      = flag.Bool("leakage", false, "attach the leakage auditor and print the taint scoreboard after the run")
+		simProf   = flag.String("simprofile", "", "attach engine-attribution profiling and write the sim-profile table as PATH.json and PATH.csv")
 	)
 	flag.Parse()
 
@@ -86,6 +90,11 @@ func main() {
 		auditor = leakage.NewAuditor()
 		probes.Observer = probe.Fanout(probes.Observer, auditor)
 	}
+	var prof *observatory.Profile
+	if *simProf != "" {
+		prof = observatory.NewProfile()
+		probes.Profile = prof
+	}
 
 	var res *secpref.Result
 	var err error
@@ -114,6 +123,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "secpref:", err)
 			os.Exit(1)
 		}
+	}
+	if prof != nil {
+		if err := exportSimProfile(prof, *simProf, res.TraceName+" "+cfg.Label(), *tsDir != ""); err != nil {
+			fmt.Fprintln(os.Stderr, "secpref:", err)
+			os.Exit(1)
+		}
+		fmt.Fprint(os.Stderr, prof.String())
 	}
 
 	fmt.Printf("trace:            %s\n", res.TraceName)
@@ -182,6 +198,56 @@ func exportTimeseries(dir, traceName, label string, s *probe.IntervalSampler, tr
 	}
 	fmt.Fprintf(os.Stderr, "secpref: wrote %s.series.json, .series.csv, .trace.json (%d windows, %d trace events)\n",
 		base, s.Len(), len(tr.Events()))
+	return nil
+}
+
+// exportSimProfile writes the engine-attribution table as base.json
+// and base.csv, plus base.trace.json counter tracks when the run also
+// sampled windows (the tracks ride the window cadence).
+func exportSimProfile(p *observatory.Profile, base, label string, withTracks bool) error {
+	if dir := filepath.Dir(base); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	jf, err := os.Create(base + ".json")
+	if err != nil {
+		return err
+	}
+	if err := p.WriteJSON(jf); err != nil {
+		jf.Close()
+		return err
+	}
+	if err := jf.Close(); err != nil {
+		return err
+	}
+	cf, err := os.Create(base + ".csv")
+	if err != nil {
+		return err
+	}
+	if err := p.WriteCSV(cf); err != nil {
+		cf.Close()
+		return err
+	}
+	if err := cf.Close(); err != nil {
+		return err
+	}
+	names := []string{base + ".json", base + ".csv"}
+	if withTracks && len(p.Track) > 0 {
+		tf, err := os.Create(base + ".trace.json")
+		if err != nil {
+			return err
+		}
+		if err := p.WriteChromeTrace(tf, label); err != nil {
+			tf.Close()
+			return err
+		}
+		if err := tf.Close(); err != nil {
+			return err
+		}
+		names = append(names, base+".trace.json")
+	}
+	fmt.Fprintf(os.Stderr, "secpref: wrote %s\n", strings.Join(names, ", "))
 	return nil
 }
 

@@ -1,0 +1,68 @@
+package cache
+
+import (
+	"secpref/internal/mem"
+	"secpref/internal/observatory"
+	"secpref/internal/ring"
+)
+
+// StateDigest hashes the level's architectural state: line tags and
+// replacement metadata, live MSHR entries with their waiters, queue
+// and latency-wheel contents, the LRU clock, and a few headline
+// counters. Two engines executing the same machine must produce equal
+// digests at equal cycles; the observatory's divergence bisector
+// depends on it. Engine-side accelerator state that only caches
+// derivable facts is deliberately excluded.
+func (c *Cache) StateDigest() uint64 {
+	d := observatory.NewDigest()
+	for i, t := range c.tags {
+		if t == invalidTag {
+			continue
+		}
+		m := &c.meta[i]
+		d = d.Word(uint64(i)).Word(uint64(t))
+		d = d.Word(uint64(m.lru) | uint64(m.flags)<<32 | uint64(m.rrpv)<<40 | uint64(m.wbbRest)<<48)
+		d = d.Word(uint64(m.fetchLat))
+	}
+	d = d.Word(uint64(c.clock)).Word(uint64(c.inUse))
+	for i := range c.mshr {
+		e := &c.mshr[i]
+		if !e.valid {
+			continue
+		}
+		d = d.Word(uint64(i)).Word(uint64(c.mshrLine[i])).Word(uint64(e.kind))
+		d = d.Bool(e.forwarded).Bool(e.spec).Word(uint64(e.alloc))
+		d = d.Word(uint64(e.fillLevel)).Word(e.timestamp).Word(uint64(len(e.waiters)))
+		for _, wr := range e.waiters {
+			d = observatory.DigestRequest(d, wr)
+		}
+		d = observatory.DigestRequest(d, e.child)
+	}
+	d = digestReqRing(d, &c.rq)
+	d = digestReqRing(d, &c.wq)
+	d = digestReqRing(d, &c.pq)
+	d = digestReqRing(d, &c.fwdq)
+	for i := 0; i < c.fills.Len(); i++ {
+		fr := c.fills.At(i)
+		d = observatory.DigestRequest(d, fr.req)
+		d = d.Bool(fr.dirty).Bool(fr.isWrite).Word(uint64(fr.wbb)).Bool(fr.entry != nil)
+	}
+	d = d.Word(uint64(c.wheelCount))
+	for s := 0; s < wheelSize; s++ {
+		for _, r := range c.wheel[s] {
+			d = d.Word(uint64(s))
+			d = observatory.DigestRequest(d, r)
+		}
+	}
+	d = d.Word(c.wake).Word(c.Stats.TotalAccesses()).Word(c.Stats.Cycles)
+	return d.Sum()
+}
+
+// digestReqRing folds a request ring's contents front to back.
+func digestReqRing(d observatory.Digest, b *ring.Buf[*mem.Request]) observatory.Digest {
+	d = d.Word(uint64(b.Len()))
+	for i := 0; i < b.Len(); i++ {
+		d = observatory.DigestRequest(d, b.At(i))
+	}
+	return d
+}

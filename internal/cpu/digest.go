@@ -1,0 +1,42 @@
+package cpu
+
+import "secpref/internal/observatory"
+
+// StateDigest hashes the core's architectural state: the ROB window
+// (entries between head and tail with their issue/completion state and
+// in-flight requests), the store queue, the pending-load scan list,
+// load-queue accounting, and the headline retirement counters. The
+// issue gate (gateValid and friends) and the bulk-decode buffer are
+// engine-side caches over this state — an idle lockstep Tick may warm
+// them where a SkipIdle does not — so they are deliberately excluded:
+// including them would make the digest diverge between bit-identical
+// engines.
+func (c *Core) StateDigest() uint64 {
+	d := observatory.NewDigest()
+	d = d.Word(uint64(c.head)).Word(uint64(c.tail)).Word(uint64(c.count)).Word(c.seq)
+	for i := 0; i < c.count; i++ {
+		e := &c.rob[(c.head+i)%len(c.rob)]
+		d = d.Word(e.seq).Bool(e.isLoad).Bool(e.issued).Bool(e.done).Bool(e.retired)
+		d = d.Word(uint64(int64(e.lqID)) | uint64(e.hitLevel)<<32)
+		d = d.Word(uint64(e.accessCycle)).Word(uint64(e.fetchLat))
+		d = d.Bool(e.hitPref).Bool(e.mergedPref)
+		d = d.Word(uint64(e.execReady)).Word(uint64(int64(e.depIdx)))
+		d = d.Word(uint64(e.transReady)).Bool(e.translated)
+		d = d.Bool(e.portBlocked).Word(e.blockedVer)
+		d = observatory.DigestRequest(d, e.req)
+	}
+	d = d.Word(uint64(int64(c.lqFree))).Word(uint64(int64(c.nextLQ)))
+	d = d.Word(uint64(c.stallUntil)).Bool(c.srcDone).Bool(c.staged != nil)
+	d = d.Word(uint64(int64(c.lastLoad)))
+	d = d.Word(uint64(c.stores.Len()))
+	for i := 0; i < c.stores.Len(); i++ {
+		d = observatory.DigestRequest(d, c.stores.At(i))
+	}
+	d = d.Word(uint64(len(c.pendLoads)))
+	for _, idx := range c.pendLoads {
+		d = d.Word(uint64(int64(idx)))
+	}
+	d = d.Word(c.wake)
+	d = d.Word(c.Stats.Instructions).Word(c.Stats.Loads).Word(c.Stats.Cycles)
+	return d.Sum()
+}

@@ -1,0 +1,31 @@
+package dram
+
+import "secpref/internal/observatory"
+
+// StateDigest hashes the channel's architectural state: queued reads
+// and writes with arrival stamps, open rows, bus occupancy, in-flight
+// responses, and the headline access counters.
+func (d *DRAM) StateDigest() uint64 {
+	dg := observatory.NewDigest()
+	dg = dg.Word(uint64(len(d.rq)))
+	for i := range d.rq {
+		dg = observatory.DigestRequest(dg, d.rq[i].req).Word(uint64(d.rq[i].arrived))
+	}
+	dg = dg.Word(uint64(len(d.wq)))
+	for i := range d.wq {
+		dg = observatory.DigestRequest(dg, d.wq[i].req).Word(uint64(d.wq[i].arrived))
+	}
+	for b, row := range d.rows {
+		if row != 0 {
+			dg = dg.Word(uint64(b)).Word(row)
+		}
+	}
+	dg = dg.Word(uint64(d.busFreeAt)).Word(uint64(d.now))
+	dg = dg.Word(uint64(len(d.resp)))
+	for i := range d.resp {
+		dg = observatory.DigestRequest(dg, d.resp[i].req).Word(uint64(d.resp[i].ready))
+	}
+	dg = dg.Word(d.wake)
+	dg = dg.Word(d.Stats.Reads).Word(d.Stats.Writes).Word(d.Stats.Cycles)
+	return dg.Sum()
+}

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"sync"
 
+	"secpref/internal/observatory"
 	"secpref/internal/probe"
 	"secpref/internal/sim"
 	"secpref/internal/trace"
@@ -47,6 +48,10 @@ type Options struct {
 	// Campaign, when non-nil, receives live run/instruction counters as
 	// the campaign progresses (cmd/experiments wires it to -http).
 	Campaign *probe.Campaign
+	// Profile, when non-nil, aggregates engine-attribution counters
+	// (internal/observatory) across every run of the campaign. Like the
+	// other probes, attaching it never changes simulated results.
+	Profile *observatory.Aggregate
 }
 
 // DefaultOptions returns the standard campaign size.
@@ -220,18 +225,26 @@ func (r *Runner) result(traceName string, v cfgVariant) (*sim.Result, error) {
 			}()
 		}
 		src := trace.NewSource(tr)
-		if r.opts.TimeseriesDir == "" {
-			e.res, e.err = sim.Run(v.config(r.opts), src)
-			return
+		var probes sim.Probes
+		var prof *observatory.Profile
+		if r.opts.Profile != nil {
+			prof = observatory.NewProfile()
+			probes.Profile = prof
 		}
-		sampler := probe.NewIntervalSampler(r.opts.Instrs/int(sim.DefaultWindowInstrs) + 2)
-		tracer := probe.NewTracer(traceSampleEvery, traceRingCap)
-		e.res, e.err = sim.RunProbed(v.config(r.opts), src, sim.Probes{
-			Observer: tracer,
-			Window:   sampler,
-		})
-		if e.err == nil {
-			e.err = r.exportTimeseries(traceName, v.label, sampler, tracer)
+		if r.opts.TimeseriesDir == "" {
+			e.res, e.err = sim.RunProbed(v.config(r.opts), src, probes)
+		} else {
+			sampler := probe.NewIntervalSampler(r.opts.Instrs/int(sim.DefaultWindowInstrs) + 2)
+			tracer := probe.NewTracer(traceSampleEvery, traceRingCap)
+			probes.Observer = tracer
+			probes.Window = sampler
+			e.res, e.err = sim.RunProbed(v.config(r.opts), src, probes)
+			if e.err == nil {
+				e.err = r.exportTimeseries(traceName, v.label, sampler, tracer)
+			}
+		}
+		if e.err == nil && prof != nil {
+			r.opts.Profile.Add(prof)
 		}
 	})
 	return e.res, e.err

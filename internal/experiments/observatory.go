@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"secpref/internal/observatory"
+	"secpref/internal/sim"
+	"secpref/internal/trace"
+	"secpref/internal/workload"
+)
+
+// digestGateVariants are the configurations the equivalence gate
+// exercises: the full secure stack (GM + SUF + Berti/TSB — every
+// digested component live) and a non-secure on-access system (the
+// other training/fill wiring).
+func digestGateVariants() []cfgVariant {
+	return []cfgVariant{
+		timelySecureSUF("berti"),
+		onAccessNonSecure("berti"),
+	}
+}
+
+// DigestEquivalenceGate runs every (variant, trace) pair of the
+// campaign under both simulation engines — calendar-queue event engine
+// and lockstep reference — with rolling state-digest recorders
+// attached, and fails on the first divergent checkpoint. It is the CI
+// form of the determinism guarantee: not just "the final results
+// match" (TestIdleSkipEquivalence) but "the architectural state agrees
+// at every digest interval along the way", which turns an engine bug
+// into a (cycle, component) coordinate instead of a diff of end-state
+// counters.
+func (r *Runner) DigestEquivalenceGate() error {
+	var mu sync.Mutex
+	var failures []string
+	for _, v := range digestGateVariants() {
+		v := v
+		err := r.forEachTrace(func(name string) error {
+			run := func(ref bool) (*observatory.Recorder, error) {
+				tr, err := workload.Get(name, workload.Params{Instrs: r.opts.Instrs + r.opts.Warmup, Seed: r.opts.Seed})
+				if err != nil {
+					return nil, err
+				}
+				rec := observatory.NewRecorder()
+				_, err = sim.RunProbed(v.config(r.opts), trace.NewSource(tr), sim.Probes{
+					Digest:          rec,
+					ReferenceEngine: ref,
+				})
+				return rec, err
+			}
+			event, err := run(false)
+			if err != nil {
+				return fmt.Errorf("digest gate %s/%s (event): %w", v.label, name, err)
+			}
+			ref, err := run(true)
+			if err != nil {
+				return fmt.Errorf("digest gate %s/%s (reference): %w", v.label, name, err)
+			}
+			if event.Len() == 0 {
+				return fmt.Errorf("digest gate %s/%s: no digest checkpoints recorded", v.label, name)
+			}
+			if div, ok := observatory.FirstDivergence(event, ref); ok {
+				comp := "structural"
+				if div.Component >= 0 && div.Component < sim.NumComponents {
+					comp = sim.ComponentNames[div.Component]
+				}
+				mu.Lock()
+				failures = append(failures, fmt.Sprintf("%s/%s: %s digest diverges at cycle %d (%#x != %#x)",
+					v.label, name, comp, div.Cycle, div.A, div.B))
+				mu.Unlock()
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("engine digest divergence:\n  %s", joinLines(failures))
+	}
+	return nil
+}
+
+func joinLines(lines []string) string {
+	out := ""
+	for i, l := range lines {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += l
+	}
+	return out
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"testing"
+
+	"secpref/internal/observatory"
+)
+
+// TestDigestEquivalenceGate is the in-repo version of the CI step: the
+// two engines must agree at every digest checkpoint of a small
+// campaign.
+func TestDigestEquivalenceGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("gate runs sim campaigns")
+	}
+	opts := DefaultOptions()
+	opts.Instrs = 6000
+	opts.Warmup = 1000
+	opts.Traces = []string{"605.mcf-1554B", "bfs-3B"}
+	r := NewRunner(opts)
+	if err := r.DigestEquivalenceGate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCampaignProfileAggregation runs a tiny campaign with the
+// attribution aggregate attached and checks runs fold into it.
+func TestCampaignProfileAggregation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs sim campaigns")
+	}
+	opts := DefaultOptions()
+	opts.Instrs = 6000
+	opts.Warmup = 1000
+	opts.Traces = []string{"605.mcf-1554B"}
+	opts.Profile = observatory.NewAggregate()
+	r := NewRunner(opts)
+	if _, err := r.result("605.mcf-1554B", baseNonSecure()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.result("605.mcf-1554B", timelySecureSUF("berti")); err != nil {
+		t.Fatal(err)
+	}
+	s := opts.Profile.Snapshot()
+	if s.Advances == 0 || s.VisitedCycles == 0 {
+		t.Fatalf("aggregate recorded nothing: %+v", s)
+	}
+	if len(s.Ranks) == 0 || s.Ranks[0].Ticks == 0 {
+		t.Fatalf("aggregate has no rank attribution: %+v", s.Ranks)
+	}
+}

@@ -1,0 +1,51 @@
+package ghostminion
+
+import "secpref/internal/observatory"
+
+// StateDigest hashes the GhostMinion's architectural state: live line
+// tags and metadata, live MSHR entries with their waiters, the retry
+// and commit queues, pending probes, delayed responses, and the state
+// version. The presence signature (sig/sigStale) and the mshrMaxTs
+// leapfrog bound are conservative accelerators over this state, not
+// state of their own, and are deliberately excluded.
+func (g *GM) StateDigest() uint64 {
+	d := observatory.NewDigest()
+	for i, t := range g.tags {
+		if t == gmInvalid {
+			continue
+		}
+		m := &g.lmeta[i]
+		d = d.Word(uint64(i)).Word(uint64(t)).Word(m.timestamp)
+		d = d.Word(uint64(m.lru) | uint64(m.servedBy)<<32).Word(uint64(m.fetchLat))
+	}
+	for i := range g.mshr {
+		e := &g.mshr[i]
+		if !e.valid {
+			continue
+		}
+		d = d.Word(uint64(i)).Word(uint64(e.line)).Word(e.timestamp)
+		d = d.Word(uint64(e.alloc)).Bool(e.canceled).Word(uint64(len(e.waiters)))
+		for _, wr := range e.waiters {
+			d = observatory.DigestRequest(d, wr)
+		}
+	}
+	d = d.Word(uint64(g.mshrInUse)).Word(uint64(g.clock)).Word(g.ver).Word(g.wake)
+	d = d.Word(uint64(g.retryq.Len()))
+	for i := 0; i < g.retryq.Len(); i++ {
+		d = observatory.DigestRequest(d, g.retryq.At(i))
+	}
+	d = d.Word(uint64(g.commitq.Len()))
+	for i := 0; i < g.commitq.Len(); i++ {
+		d = observatory.DigestRequest(d, g.commitq.At(i))
+	}
+	d = d.Word(uint64(len(g.pending)))
+	for i := range g.pending {
+		d = observatory.DigestRequest(d, g.pending[i].probe)
+	}
+	d = d.Word(uint64(len(g.resp)))
+	for i := range g.resp {
+		d = observatory.DigestRequest(d, g.resp[i].req).Word(uint64(g.resp[i].ready))
+	}
+	d = d.Word(g.Stats.TotalAccesses()).Word(g.Stats.Cycles)
+	return d.Sum()
+}

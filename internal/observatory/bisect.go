@@ -1,0 +1,148 @@
+package observatory
+
+import (
+	"fmt"
+
+	"secpref/internal/mem"
+)
+
+// DigestEngine is a steppable, digestible simulation engine. Both the
+// event-driven and the lockstep reference engine of internal/sim
+// implement it; sharded engines will too.
+type DigestEngine interface {
+	// RunToCycle advances the engine to exactly cycle t (engines stop
+	// short only when the workload finishes first) and returns the
+	// clock it stopped at and whether the workload is done.
+	RunToCycle(t mem.Cycle) (now mem.Cycle, done bool, err error)
+	// StateDigests appends the per-component architectural-state
+	// digests to dst and returns it.
+	StateDigests(dst []uint64) []uint64
+}
+
+// BisectOptions tune the divergence search.
+type BisectOptions struct {
+	// Limit is the scan horizon in cycles; the coarse pass stops there
+	// even if neither engine finished.
+	Limit mem.Cycle
+	// Step is the coarse checkpoint interval (default 4096).
+	Step mem.Cycle
+}
+
+// probeOutcome is one digest comparison of a (fresh) engine pair at a
+// target cycle.
+type probeOutcome struct {
+	diverged bool
+	comp     int // -1: the clocks/done flags themselves disagree
+	a, b     uint64
+	done     bool // both engines finished (in agreement)
+}
+
+// Bisect localizes the first divergent (cycle, component) between two
+// deterministic engines. fresh must build a brand-new engine pair from
+// identical inputs on every call — the search restarts the pair to
+// probe intermediate cycles, which is what turns an end-of-run
+// "DeepEqual mismatch" into an exact coordinate.
+//
+// The search has two phases: a coarse forward scan comparing digests
+// every Step cycles on one pair, then a binary search over the first
+// divergent window using a fresh pair per probe. Total cost is
+// O(run · log Step). Returns (nil, nil) when the engines agree at
+// every checkpoint up to Limit (or to completion).
+func Bisect(fresh func() (a, b DigestEngine, err error), opt BisectOptions) (*Divergence, error) {
+	if opt.Step == 0 {
+		opt.Step = 4096
+	}
+	if opt.Limit == 0 {
+		opt.Limit = mem.Cycle(1) << 62
+	}
+
+	var bufA, bufB []uint64
+	probe := func(a, b DigestEngine, t mem.Cycle) (probeOutcome, error) {
+		nowA, doneA, err := a.RunToCycle(t)
+		if err != nil {
+			return probeOutcome{}, fmt.Errorf("observatory: engine A at cycle %d: %w", t, err)
+		}
+		nowB, doneB, err := b.RunToCycle(t)
+		if err != nil {
+			return probeOutcome{}, fmt.Errorf("observatory: engine B at cycle %d: %w", t, err)
+		}
+		if nowA != nowB || doneA != doneB {
+			// One engine finished or stalled where the other ran on — a
+			// structural divergence of the clocks themselves.
+			return probeOutcome{diverged: true, comp: -1, a: uint64(nowA), b: uint64(nowB)}, nil
+		}
+		bufA = a.StateDigests(bufA[:0])
+		bufB = b.StateDigests(bufB[:0])
+		if c := comparePoints(bufA, bufB); c >= 0 {
+			out := probeOutcome{diverged: true, comp: c}
+			if c < len(bufA) {
+				out.a = bufA[c]
+			}
+			if c < len(bufB) {
+				out.b = bufB[c]
+			}
+			return out, nil
+		}
+		return probeOutcome{done: doneA}, nil
+	}
+
+	// Coarse scan: one pair, digests compared every Step cycles.
+	a, b, err := fresh()
+	if err != nil {
+		return nil, err
+	}
+	var lo mem.Cycle // last agreeing checkpoint
+	var hi mem.Cycle // first divergent checkpoint
+	found := false
+	for t := opt.Step; t <= opt.Limit; t += opt.Step {
+		out, err := probe(a, b, t)
+		if err != nil {
+			return nil, err
+		}
+		if out.diverged {
+			hi, found = t, true
+			break
+		}
+		if out.done { // both engines finished in agreement
+			return nil, nil
+		}
+		lo = t
+	}
+	if !found {
+		return nil, nil
+	}
+
+	// Binary search (lo, hi]: fresh pair per probe.
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		a, b, err := fresh()
+		if err != nil {
+			return nil, err
+		}
+		out, err := probe(a, b, mid)
+		if err != nil {
+			return nil, err
+		}
+		if out.diverged {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+
+	// Final probe at hi extracts the divergent component and values.
+	a, b, err = fresh()
+	if err != nil {
+		return nil, err
+	}
+	out, err := probe(a, b, hi)
+	if err != nil {
+		return nil, err
+	}
+	if !out.diverged {
+		// The divergence did not reproduce on replay: the engine pair
+		// is not deterministic, which is itself a reportable defect.
+		return nil, fmt.Errorf("observatory: divergence at cycle %d did not reproduce on replay (non-deterministic engine pair)", hi)
+	}
+	return &Divergence{Cycle: hi, Component: out.comp, A: out.a, B: out.b}, nil
+}

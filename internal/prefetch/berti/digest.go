@@ -1,0 +1,34 @@
+package berti
+
+import "secpref/internal/observatory"
+
+// StateDigest hashes the prefetcher's architectural state: the access
+// history columns, every valid delta-table entry with its learned
+// deltas, and the engine activity counters.
+func (p *Prefetcher) StateDigest() uint64 {
+	d := observatory.NewDigest()
+	d = d.Word(uint64(p.histPos)).Word(uint64(p.clock))
+	for i := 0; i < historySize; i++ {
+		if p.hist.tag[i] == 0 {
+			continue
+		}
+		d = d.Word(uint64(i)).Word(p.hist.tag[i])
+		d = d.Word(uint64(p.hist.line[i])).Word(uint64(p.hist.ts[i]))
+	}
+	for i := range p.table {
+		e := &p.table[i]
+		if !e.valid {
+			continue
+		}
+		d = d.Word(uint64(i)).Word(uint64(e.ipHash)).Word(uint64(e.searches)).Word(uint64(e.lru))
+		for j := range e.deltas {
+			de := &e.deltas[j]
+			if de.count == 0 && de.delta == 0 {
+				continue
+			}
+			d = d.Word(uint64(j)).Word(uint64(uint32(de.delta)) | uint64(de.count)<<32)
+		}
+	}
+	d = d.Word(p.TrainCalls).Word(p.ObserveCalls).Word(p.IssueAttempts)
+	return d.Sum()
+}

@@ -24,6 +24,7 @@ type Campaign struct {
 	cycles      atomic.Uint64
 	experiments atomic.Uint64
 	currentExp  atomic.Value // string: the experiment id in flight
+	engineVer   atomic.Value // string: simulation-engine version
 	plannedExps int
 }
 
@@ -31,8 +32,14 @@ type Campaign struct {
 func NewCampaign(plannedExperiments int) *Campaign {
 	c := &Campaign{start: time.Now(), plannedExps: plannedExperiments}
 	c.currentExp.Store("")
+	c.engineVer.Store("")
 	return c
 }
+
+// SetEngineVersion records the simulation-engine version the campaign
+// runs under; it appears in the snapshot and as the
+// secpref_engine_info metric.
+func (c *Campaign) SetEngineVersion(v string) { c.engineVer.Store(v) }
 
 // RunStarted records one simulation starting.
 func (c *Campaign) RunStarted() { c.runsStarted.Add(1) }
@@ -84,6 +91,7 @@ type Snapshot struct {
 	ExperimentsDone uint64  `json:"experiments_done"`
 	ExperimentsPlan int     `json:"experiments_planned"`
 	CurrentExp      string  `json:"current_experiment"`
+	EngineVersion   string  `json:"engine_version,omitempty"`
 	UptimeSeconds   float64 `json:"uptime_seconds"`
 	InstrsPerSec    float64 `json:"instrs_per_sec"`
 }
@@ -100,6 +108,7 @@ func (c *Campaign) Snapshot() Snapshot {
 		ExperimentsDone: c.experiments.Load(),
 		ExperimentsPlan: c.plannedExps,
 		CurrentExp:      c.currentExp.Load().(string),
+		EngineVersion:   c.engineVer.Load().(string),
 		UptimeSeconds:   up,
 	}
 	if up > 0 {
@@ -130,6 +139,11 @@ func (c *Campaign) WritePrometheus(w io.Writer) error {
 		{"secpref_instructions_per_second", "gauge", "Campaign-average simulated instruction throughput.", s.InstrsPerSec},
 	} {
 		if err := write(m.name, m.typ, m.help, m.v); err != nil {
+			return err
+		}
+	}
+	if s.EngineVersion != "" {
+		if _, err := fmt.Fprintf(w, "# HELP secpref_engine_info Simulation-engine version in use.\n# TYPE secpref_engine_info gauge\nsecpref_engine_info{version=%q} 1\n", s.EngineVersion); err != nil {
 			return err
 		}
 	}

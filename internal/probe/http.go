@@ -2,11 +2,18 @@ package probe
 
 import (
 	"expvar"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"time"
 )
+
+// PrometheusWriter is anything that can append itself to a Prometheus
+// text-format exposition (the campaign, an observatory aggregate, ...).
+type PrometheusWriter interface {
+	WritePrometheus(w io.Writer) error
+}
 
 // NewHandler builds the telemetry HTTP mux for a campaign:
 //
@@ -14,13 +21,18 @@ import (
 //	/debug/vars    expvar JSON (includes the campaign snapshot)
 //	/debug/pprof/  live CPU/heap/goroutine profiling
 //
-// The campaign is published to expvar as a side effect.
-func NewHandler(c *Campaign) http.Handler {
+// Extra writers are appended to the /metrics exposition after the
+// campaign's own counters (e.g. the engine-attribution aggregate). The
+// campaign is published to expvar as a side effect.
+func NewHandler(c *Campaign, extra ...PrometheusWriter) http.Handler {
 	c.Publish()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = c.WritePrometheus(w)
+		for _, e := range extra {
+			_ = e.WritePrometheus(w)
+		}
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -35,12 +47,12 @@ func NewHandler(c *Campaign) http.Handler {
 // It returns the bound address (useful with ":0") and the server for
 // shutdown; the error covers the bind only — serve-loop errors after a
 // successful bind terminate silently with the process.
-func Serve(addr string, c *Campaign) (string, *http.Server, error) {
+func Serve(addr string, c *Campaign, extra ...PrometheusWriter) (string, *http.Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: NewHandler(c), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: NewHandler(c, extra...), ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), srv, nil
 }

@@ -1,0 +1,109 @@
+package probe
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// extraWriter is a stand-in for the observatory aggregate riding the
+// /metrics endpoint.
+type extraWriter struct{ body string }
+
+func (e extraWriter) WritePrometheus(w io.Writer) error {
+	_, err := io.WriteString(w, e.body)
+	return err
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, path, nil))
+	return rr
+}
+
+func TestHandlerMetrics(t *testing.T) {
+	c := NewCampaign(3)
+	c.SetEngineVersion("ev-test")
+	c.RunStarted()
+	c.RunDone(1000, 5000)
+	c.RunFailed()
+	h := NewHandler(c, extraWriter{"extra_metric_total 42\n"})
+
+	rr := get(t, h, "/metrics")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+	body := rr.Body.String()
+	for _, want := range []string{
+		"secpref_runs_started_total 1",
+		"secpref_runs_completed_total 1",
+		"secpref_runs_failed_total 1",
+		"secpref_instructions_total 1000",
+		`secpref_engine_info{version="ev-test"} 1`,
+		"extra_metric_total 42", // the extra writer's exposition rides along
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\nbody:\n%s", want, body)
+		}
+	}
+}
+
+func TestHandlerExpvarAndPprof(t *testing.T) {
+	c := NewCampaign(1)
+	c.SetEngineVersion("ev-test")
+	c.ExperimentStarted("exp-1")
+	h := NewHandler(c)
+
+	rr := get(t, h, "/debug/vars")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/debug/vars status = %d", rr.Code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(rr.Body.Bytes(), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	raw, ok := vars["secpref_campaign"]
+	if !ok {
+		t.Fatal("/debug/vars missing secpref_campaign")
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("campaign snapshot not a Snapshot: %v", err)
+	}
+	if snap.CurrentExp != "exp-1" || snap.EngineVersion != "ev-test" {
+		t.Errorf("snapshot = %+v", snap)
+	}
+
+	if rr := get(t, h, "/debug/pprof/cmdline"); rr.Code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status = %d", rr.Code)
+	}
+}
+
+func TestServeBindsAndServes(t *testing.T) {
+	c := NewCampaign(1)
+	addr, srv, err := Serve("127.0.0.1:0", c, extraWriter{"served_extra 1\n"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "served_extra 1") {
+		t.Errorf("served /metrics missing extra writer output:\n%s", body)
+	}
+}

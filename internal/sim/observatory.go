@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"secpref/internal/mem"
+	"secpref/internal/observatory"
+)
+
+// EngineVersion identifies the simulation-engine generation. It is
+// stamped into bench history records, digest streams, sim-profile
+// exports, and campaign snapshots so that performance and determinism
+// artifacts recorded under different engines never get compared as if
+// they were interchangeable. Bump it whenever the engine's scheduling
+// or skipping behaviour changes in a way that could move numbers.
+const EngineVersion = "ev5-calendar-observatory"
+
+// ComponentNames fixes the order of the per-component state-digest
+// vector (StateDigests). Absent components (GM on a non-secure system,
+// TLB when disabled, Berti when another prefetcher is configured)
+// digest to zero at their slot so vectors from different configs stay
+// index-compatible.
+var ComponentNames = [...]string{"core", "gm", "l1d", "l2", "llc", "dram", "tlb", "berti"}
+
+// NumComponents is the digest vector length.
+const NumComponents = len(ComponentNames)
+
+// rankNames names the calendar-queue ranks for attribution profiling,
+// in rank order.
+var rankNames = [...]string{"core", "gm", "l1d", "l2", "llc", "dram"}
+
+// DefaultDigestEvery is the digest-stream interval when
+// Probes.DigestEvery is zero.
+const DefaultDigestEvery mem.Cycle = 4096
+
+// Now returns the machine's current cycle.
+func (m *Machine) Now() mem.Cycle { return m.now }
+
+// UseReferenceEngine selects between the calendar-queue event engine
+// (false, the default) and the lockstep tick-every-cycle reference
+// engine the equivalence machinery compares against.
+func (m *Machine) UseReferenceEngine(on bool) { m.noSkip = on }
+
+// StateDigests appends the per-component architectural-state digests
+// (ComponentNames order) to dst and returns it. Two engines that have
+// executed the same machine to the same cycle must produce equal
+// vectors; the divergence bisector depends on it.
+func (m *Machine) StateDigests(dst []uint64) []uint64 {
+	var comps [NumComponents]uint64
+	comps[0] = m.core.StateDigest()
+	if m.gm != nil {
+		comps[1] = m.gm.StateDigest()
+	}
+	comps[2] = m.l1d.StateDigest()
+	comps[3] = m.l2.StateDigest()
+	comps[4] = m.llc.StateDigest()
+	comps[5] = m.mem.StateDigest()
+	if m.tlbs != nil {
+		comps[6] = m.tlbs.StateDigest()
+	}
+	if m.bertiPF != nil {
+		comps[7] = m.bertiPF.StateDigest()
+	}
+	return append(dst, comps[:]...)
+}
+
+// attachProfile arms engine-attribution profiling. Nil leaves the run
+// unprofiled (the hot paths pay one nil check per rank slot).
+func (m *Machine) attachProfile(p *observatory.Profile) {
+	if p == nil {
+		return
+	}
+	p.EnsureRanks(rankNames[:])
+	if p.EngineVersion == "" {
+		p.EngineVersion = EngineVersion
+	}
+	m.prof = p
+}
+
+// armDigests arms the rolling digest stream: the run emits the
+// per-component state digests into sink at every multiple of the
+// interval. The event engine clamps its calendar jumps to digest
+// boundaries so both engines sample the same cycles — visiting a
+// boundary cycle where nothing is due integrates one idle cycle per
+// rank, which is exactly what lockstep stepping does there.
+func (m *Machine) armDigests(sink observatory.DigestSink, every mem.Cycle) {
+	if sink == nil {
+		return
+	}
+	if every == 0 {
+		every = DefaultDigestEvery
+	}
+	m.digSink = sink
+	m.digEvery = every
+	m.digNext = m.now - m.now%every + every
+	if rec, ok := sink.(*observatory.Recorder); ok {
+		rec.EngineVersion = EngineVersion
+		rec.Interval = every
+		rec.Components = ComponentNames[:]
+	}
+}
+
+// emitDigests samples the component digests at the current cycle and
+// advances the next digest boundary past it.
+func (m *Machine) emitDigests() {
+	m.digBuf = m.StateDigests(m.digBuf[:0])
+	m.digSink.Digest(m.now, m.digBuf)
+	for m.digNext <= m.now {
+		m.digNext += m.digEvery
+	}
+	if m.prof != nil {
+		m.prof.TrackSample(uint64(m.now))
+	}
+}
+
+// RunToCycle advances the machine to exactly cycle t, or less when the
+// workload finishes first, and reports the clock it stopped at and
+// whether the workload is done. It implements observatory.DigestEngine:
+// the divergence bisector drives two machines through interleaved
+// RunToCycle calls, comparing StateDigests between them. Repeated calls
+// with increasing targets continue the same run; the calendar is
+// re-primed on each call so the engine state is correct regardless of
+// what ran in between.
+func (m *Machine) RunToCycle(t mem.Cycle) (mem.Cycle, bool, error) {
+	if m.noSkip {
+		for m.now < t && !m.core.Done() {
+			m.step()
+			if m.digSink != nil && m.now >= m.digNext {
+				m.emitDigests()
+			}
+			if err := m.trackProgress(); err != nil {
+				return m.now, false, err
+			}
+		}
+		return m.now, m.core.Done(), nil
+	}
+	if m.now < t && !m.core.Done() {
+		m.primeSchedule()
+	}
+	for m.now < t && !m.core.Done() {
+		next := m.evq.Next()
+		clamped := false
+		if next > t {
+			next, clamped = t, true
+		}
+		if m.digSink != nil && next > m.digNext {
+			next, clamped = m.digNext, true
+		}
+		if limit := m.rtProgress + wedgeWindow + 1; next > limit {
+			next, clamped = limit, true
+		}
+		m.advanceTo(next)
+		if m.prof != nil {
+			m.prof.Advance(clamped)
+		}
+		if m.digSink != nil && m.now >= m.digNext {
+			m.emitDigests()
+		}
+		if err := m.trackProgress(); err != nil {
+			return m.now, false, err
+		}
+	}
+	return m.now, m.core.Done(), nil
+}
+
+// trackProgress is RunToCycle's wedge detector: it remembers the last
+// cycle an instruction retired and fails once the machine has spun a
+// full wedge window without one.
+func (m *Machine) trackProgress() error {
+	if n := m.core.Stats.Instructions; n != m.rtCount {
+		m.rtCount = n
+		m.rtProgress = m.now
+	} else if m.now-m.rtProgress > wedgeWindow {
+		return ErrNoProgress
+	}
+	return nil
+}

@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"secpref/internal/mem"
+	"secpref/internal/observatory"
+)
+
+// obsConfig is the richest test configuration: secure system with GM,
+// SUF, Berti in TSB mode — every digest component live.
+func obsConfig() Config {
+	cfg := DefaultConfig()
+	cfg.WarmupInstrs = 2000
+	cfg.MaxInstrs = 15_000
+	cfg.Secure = true
+	cfg.SUF = true
+	cfg.Prefetcher = "berti"
+	cfg.Mode = ModeTimelySecure
+	return cfg
+}
+
+// TestDigestStreamEquivalence runs the event engine and the lockstep
+// reference engine over the same workload with digest recorders
+// attached and requires the two digest streams to agree at every
+// checkpoint — the rolling-digest generalization of
+// TestIdleSkipEquivalence.
+func TestDigestStreamEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"nonsecure-nopref", func(c *Config) {}},
+		{"secure-tsb-suf-berti", func(c *Config) {
+			c.Secure = true
+			c.SUF = true
+			c.Prefetcher = "berti"
+			c.Mode = ModeTimelySecure
+		}},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.WarmupInstrs = 2000
+			cfg.MaxInstrs = 15_000
+			tc.mut(&cfg)
+			run := func(ref bool) *observatory.Recorder {
+				rec := observatory.NewRecorder()
+				_, err := RunProbed(cfg, smokeTrace(t, "bfs-3B", 17_000), Probes{
+					Digest:          rec,
+					DigestEvery:     1024,
+					ReferenceEngine: ref,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rec
+			}
+			event, ref := run(false), run(true)
+			if event.Len() == 0 {
+				t.Fatal("event engine recorded no digest points")
+			}
+			if event.EngineVersion != EngineVersion {
+				t.Errorf("recorder engine version = %q, want %q", event.EngineVersion, EngineVersion)
+			}
+			if div, ok := observatory.FirstDivergence(event, ref); ok {
+				name := "?"
+				if div.Component >= 0 && div.Component < NumComponents {
+					name = ComponentNames[div.Component]
+				}
+				t.Errorf("digest streams diverge (%s): %v", name, div)
+			}
+		})
+	}
+}
+
+// TestRunToCycleMatchesEngines drives both engines through repeated
+// RunToCycle calls (the bisector's access pattern) and checks clocks,
+// completion, and digest vectors stay equal at every probe point.
+func TestRunToCycleMatchesEngines(t *testing.T) {
+	cfg := obsConfig()
+	src := func() *Machine {
+		m, err := NewMachine(cfg, smokeTrace(t, "602.gcc-1850B", 17_000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := src(), src()
+	b.UseReferenceEngine(true)
+	var bufA, bufB []uint64
+	for _, target := range []mem.Cycle{100, 1000, 1001, 5000, 20_000} {
+		nowA, doneA, err := a.RunToCycle(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nowB, doneB, err := b.RunToCycle(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nowA != nowB || doneA != doneB {
+			t.Fatalf("at target %d: event (now=%d done=%v) != reference (now=%d done=%v)",
+				target, nowA, doneA, nowB, doneB)
+		}
+		bufA = a.StateDigests(bufA[:0])
+		bufB = b.StateDigests(bufB[:0])
+		if !reflect.DeepEqual(bufA, bufB) {
+			t.Fatalf("at cycle %d: digests diverge\nevent: %v\nref:   %v", nowA, bufA, bufB)
+		}
+	}
+}
+
+// faultyEngine wraps a machine and corrupts one component's digest from
+// a chosen cycle onward — an injected single-component divergence the
+// bisector must localize exactly.
+type faultyEngine struct {
+	*Machine
+	faultCycle mem.Cycle
+	comp       int
+}
+
+func (f faultyEngine) StateDigests(dst []uint64) []uint64 {
+	out := f.Machine.StateDigests(dst)
+	if f.Machine.Now() >= f.faultCycle {
+		out[len(out)-NumComponents+f.comp] ^= 0xdeadbeef
+	}
+	return out
+}
+
+// TestBisectLocalizesInjectedDivergence injects a divergence into one
+// component at a known cycle and requires Bisect to return exactly that
+// (cycle, component) coordinate.
+func TestBisectLocalizesInjectedDivergence(t *testing.T) {
+	cfg := obsConfig()
+	const faultCycle = 3000
+	const faultComp = 4 // llc
+	fresh := func() (observatory.DigestEngine, observatory.DigestEngine, error) {
+		a, err := NewMachine(cfg, smokeTrace(t, "bfs-3B", 17_000))
+		if err != nil {
+			return nil, nil, err
+		}
+		b, err := NewMachine(cfg, smokeTrace(t, "bfs-3B", 17_000))
+		if err != nil {
+			return nil, nil, err
+		}
+		return a, faultyEngine{b, faultCycle, faultComp}, nil
+	}
+	div, err := observatory.Bisect(fresh, observatory.BisectOptions{Step: 1024, Limit: 40_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if div == nil {
+		t.Fatal("bisect found no divergence despite injected fault")
+	}
+	if div.Cycle != faultCycle || div.Component != faultComp {
+		t.Errorf("bisect localized (cycle=%d, component=%d), want (%d, %d)",
+			div.Cycle, div.Component, faultCycle, faultComp)
+	}
+}
+
+// TestBisectCleanPair checks that a genuinely equivalent engine pair
+// (event vs lockstep) bisects to "no divergence".
+func TestBisectCleanPair(t *testing.T) {
+	cfg := obsConfig()
+	fresh := func() (observatory.DigestEngine, observatory.DigestEngine, error) {
+		a, err := NewMachine(cfg, smokeTrace(t, "bfs-3B", 17_000))
+		if err != nil {
+			return nil, nil, err
+		}
+		b, err := NewMachine(cfg, smokeTrace(t, "bfs-3B", 17_000))
+		if err != nil {
+			return nil, nil, err
+		}
+		b.UseReferenceEngine(true)
+		return a, b, nil
+	}
+	div, err := observatory.Bisect(fresh, observatory.BisectOptions{Step: 8192, Limit: 200_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if div != nil {
+		name := "?"
+		if div.Component >= 0 && div.Component < NumComponents {
+			name = ComponentNames[div.Component]
+		}
+		t.Errorf("clean engine pair diverges (%s): %v", name, div)
+	}
+}
+
+// TestProfiledRunIsBitIdentical attaches attribution profiling and
+// digest recording and requires the simulated outcome to stay
+// bit-identical to an unprobed run — the observatory must observe, not
+// perturb.
+func TestProfiledRunIsBitIdentical(t *testing.T) {
+	cfg := obsConfig()
+	plain, err := Run(cfg, smokeTrace(t, "bfs-3B", 17_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := observatory.NewProfile()
+	prof.WallSampleEvery = 64
+	probed, err := RunProbed(cfg, smokeTrace(t, "bfs-3B", 17_000), Probes{
+		Profile: prof,
+		Digest:  observatory.NewRecorder(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, probed) {
+		t.Errorf("observatory changed the simulation:\nplain:  %+v\nprobed: %+v", plain.Core, probed.Core)
+	}
+	if prof.EngineVersion != EngineVersion {
+		t.Errorf("profile engine version = %q, want %q", prof.EngineVersion, EngineVersion)
+	}
+	if prof.Advances == 0 || prof.VisitedCycles == 0 {
+		t.Error("profile recorded no advances")
+	}
+	if prof.SkippedCycles == 0 {
+		t.Error("event engine skipped no cycles on a memory-bound trace")
+	}
+	var coreTicks uint64
+	for _, r := range prof.Ranks {
+		if r.Name == "core" {
+			coreTicks = r.Ticks
+		}
+	}
+	if coreTicks == 0 {
+		t.Error("profile attributed no ticks to the core rank")
+	}
+	// The profile covers warmup too, so it must account for at least the
+	// measured cycles.
+	if total := prof.VisitedCycles + prof.SkippedCycles; total < plain.Cycles {
+		t.Errorf("profile covers %d cycles, run took %d measured cycles", total, plain.Cycles)
+	}
+}

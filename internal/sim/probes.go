@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"secpref/internal/mem"
+	"secpref/internal/observatory"
 	"secpref/internal/probe"
 	"secpref/internal/stats"
 	"secpref/internal/trace"
@@ -30,6 +31,24 @@ type Probes struct {
 	// WindowInstrs is the sampling interval in retired instructions;
 	// 0 means DefaultWindowInstrs.
 	WindowInstrs uint64
+	// Profile, if set, accumulates engine-attribution counters for the
+	// whole run (warmup included): per-rank tick/integration splits,
+	// wake-poke causes, re-arm outcomes, and gap-size histograms. One
+	// Profile belongs to one run; use observatory.Aggregate to combine
+	// across a campaign.
+	Profile *observatory.Profile
+	// Digest, if set, receives the per-component architectural-state
+	// digest vector every DigestEvery cycles, from cycle zero (warmup
+	// included, so streams from two engines are comparable end to end).
+	Digest observatory.DigestSink
+	// DigestEvery is the digest interval in cycles; 0 means
+	// DefaultDigestEvery.
+	DigestEvery mem.Cycle
+	// ReferenceEngine runs the lockstep tick-every-cycle engine instead
+	// of the calendar-queue event engine. Results and digest streams
+	// must be bit-identical between the two; the divergence machinery
+	// exists to localize any case where they are not.
+	ReferenceEngine bool
 }
 
 // DefaultWindowInstrs is the sampling interval when Probes.WindowInstrs
@@ -114,6 +133,9 @@ func (m *Machine) sampleWindow() {
 	}
 	m.winObs.Window(s)
 	m.winLast = s.Instructions
+	if m.prof != nil {
+		m.prof.TrackSample(uint64(m.now))
+	}
 }
 
 // flushWindow emits the final (usually partial) window at run end.
@@ -133,7 +155,12 @@ func RunProbed(cfg Config, src trace.Source, p Probes) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if p.ReferenceEngine {
+		m.noSkip = true
+	}
 	m.attachObserver(p.Observer)
+	m.attachProfile(p.Profile)
+	m.armDigests(p.Digest, p.DigestEvery)
 	maxCycles := cfg.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = mem.Cycle(1000 * (cfg.WarmupInstrs + cfg.MaxInstrs))

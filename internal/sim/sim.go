@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"secpref/internal/cache"
 	seccore "secpref/internal/core"
@@ -12,6 +13,7 @@ import (
 	"secpref/internal/event"
 	"secpref/internal/ghostminion"
 	"secpref/internal/mem"
+	"secpref/internal/observatory"
 	"secpref/internal/prefetch"
 	"secpref/internal/prefetch/berti"
 	"secpref/internal/probe"
@@ -85,6 +87,20 @@ type Machine struct {
 	evq       *event.Queue
 	lastWake  [numRanks]uint64
 	lastGMVer uint64
+
+	// Observatory state (observatory.go). prof accumulates engine
+	// attribution; digSink receives the rolling per-component state
+	// digests every digEvery cycles (digNext is the next boundary,
+	// digBuf the reused vector). rtProgress/rtCount are RunToCycle's
+	// wedge detector. All nil/zero when unarmed: the run loop pays one
+	// nil check each.
+	prof       *observatory.Profile
+	digSink    observatory.DigestSink
+	digEvery   mem.Cycle
+	digNext    mem.Cycle
+	digBuf     []uint64
+	rtProgress mem.Cycle
+	rtCount    uint64
 
 	now mem.Cycle
 }
@@ -445,6 +461,18 @@ func (m *Machine) step() {
 	m.l2.Tick(m.now)
 	m.llc.Tick(m.now)
 	m.mem.Tick(m.now)
+	if m.prof != nil {
+		// The lockstep reference engine visits every rank every cycle;
+		// attribute each as a plain due tick so profiles from both
+		// engines share a vocabulary.
+		m.prof.Advance(false)
+		for r := 0; r < numRanks; r++ {
+			if r == rankGM && m.gm == nil {
+				continue
+			}
+			m.prof.Visit(r, true, true, false, false)
+		}
+	}
 }
 
 // primeSchedule (re)builds the calendar from scratch: every rank is
@@ -497,40 +525,91 @@ func (m *Machine) advanceTo(t mem.Cycle) {
 		m.llc.SkipIdle(k)
 		m.mem.SkipIdle(k)
 		m.now += k
+		if m.prof != nil {
+			m.prof.Gap(uint64(k))
+		}
 	}
 	m.now = t
 	var ticked [numRanks]bool
 
-	if m.evq.At(rankCore) <= t || m.core.WakeCount() != m.lastWake[rankCore] ||
-		(m.gm != nil && m.gm.StateVersion() != m.lastGMVer) {
-		m.core.Tick(t)
-		ticked[rankCore] = true
-	} else {
-		m.core.SkipIdle(t-1, 1)
+	{
+		due := m.evq.At(rankCore) <= t
+		woke := m.core.WakeCount() != m.lastWake[rankCore]
+		ver := m.gm != nil && m.gm.StateVersion() != m.lastGMVer
+		if due || woke || ver {
+			if m.prof != nil && m.prof.WallDue(rankCore) {
+				s := time.Now()
+				m.core.Tick(t)
+				m.prof.WallRecord(rankCore, time.Since(s))
+			} else {
+				m.core.Tick(t)
+			}
+			ticked[rankCore] = true
+		} else {
+			m.core.SkipIdle(t-1, 1)
+		}
+		if m.prof != nil {
+			m.prof.Visit(rankCore, ticked[rankCore], due, woke, ver)
+		}
 	}
 	if m.gm != nil {
-		if m.evq.At(rankGM) <= t || m.gm.WakeCount() != m.lastWake[rankGM] {
-			m.gm.Tick(t)
+		due := m.evq.At(rankGM) <= t
+		woke := m.gm.WakeCount() != m.lastWake[rankGM]
+		if due || woke {
+			if m.prof != nil && m.prof.WallDue(rankGM) {
+				s := time.Now()
+				m.gm.Tick(t)
+				m.prof.WallRecord(rankGM, time.Since(s))
+			} else {
+				m.gm.Tick(t)
+			}
 			ticked[rankGM] = true
 		} else {
 			m.gm.SkipIdle(1)
+		}
+		if m.prof != nil {
+			m.prof.Visit(rankGM, ticked[rankGM], due, woke, false)
 		}
 	}
 	caches := [...]*cache.Cache{m.l1d, m.l2, m.llc}
 	for i, c := range caches {
 		r := rankL1D + i
-		if m.evq.At(r) <= t || c.WakeCount() != m.lastWake[r] {
-			c.Tick(t)
+		due := m.evq.At(r) <= t
+		woke := c.WakeCount() != m.lastWake[r]
+		if due || woke {
+			if m.prof != nil && m.prof.WallDue(r) {
+				s := time.Now()
+				c.Tick(t)
+				m.prof.WallRecord(r, time.Since(s))
+			} else {
+				c.Tick(t)
+			}
 			ticked[r] = true
 		} else {
 			c.SkipIdle(1)
 		}
+		if m.prof != nil {
+			m.prof.Visit(r, ticked[r], due, woke, false)
+		}
 	}
-	if m.evq.At(rankDRAM) <= t || m.mem.WakeCount() != m.lastWake[rankDRAM] {
-		m.mem.Tick(t)
-		ticked[rankDRAM] = true
-	} else {
-		m.mem.SkipIdle(1)
+	{
+		due := m.evq.At(rankDRAM) <= t
+		woke := m.mem.WakeCount() != m.lastWake[rankDRAM]
+		if due || woke {
+			if m.prof != nil && m.prof.WallDue(rankDRAM) {
+				s := time.Now()
+				m.mem.Tick(t)
+				m.prof.WallRecord(rankDRAM, time.Since(s))
+			} else {
+				m.mem.Tick(t)
+			}
+			ticked[rankDRAM] = true
+		} else {
+			m.mem.SkipIdle(1)
+		}
+		if m.prof != nil {
+			m.prof.Visit(rankDRAM, ticked[rankDRAM], due, woke, false)
+		}
 	}
 
 	// Re-arm: a rank that ticked, or that was poked during this cycle
@@ -544,21 +623,43 @@ func (m *Machine) advanceTo(t mem.Cycle) {
 		if m.gm != nil {
 			m.lastGMVer = m.gm.StateVersion()
 		}
+		if m.prof != nil {
+			m.prof.Rearm(rankCore, true)
+		}
+	} else if m.prof != nil {
+		m.prof.Rearm(rankCore, false)
 	}
-	if m.gm != nil && (ticked[rankGM] || m.gm.WakeCount() != m.lastWake[rankGM]) {
-		m.evq.Schedule(rankGM, m.gm.NextEvent(t))
-		m.lastWake[rankGM] = m.gm.WakeCount()
+	if m.gm != nil {
+		if ticked[rankGM] || m.gm.WakeCount() != m.lastWake[rankGM] {
+			m.evq.Schedule(rankGM, m.gm.NextEvent(t))
+			m.lastWake[rankGM] = m.gm.WakeCount()
+			if m.prof != nil {
+				m.prof.Rearm(rankGM, true)
+			}
+		} else if m.prof != nil {
+			m.prof.Rearm(rankGM, false)
+		}
 	}
 	for i, c := range caches {
 		r := rankL1D + i
 		if ticked[r] || c.WakeCount() != m.lastWake[r] {
 			m.evq.Schedule(r, c.NextEvent(t))
 			m.lastWake[r] = c.WakeCount()
+			if m.prof != nil {
+				m.prof.Rearm(r, true)
+			}
+		} else if m.prof != nil {
+			m.prof.Rearm(r, false)
 		}
 	}
 	if ticked[rankDRAM] || m.mem.WakeCount() != m.lastWake[rankDRAM] {
 		m.evq.Schedule(rankDRAM, m.mem.NextEvent(t))
 		m.lastWake[rankDRAM] = m.mem.WakeCount()
+		if m.prof != nil {
+			m.prof.Rearm(rankDRAM, true)
+		}
+	} else if m.prof != nil {
+		m.prof.Rearm(rankDRAM, false)
 	}
 }
 
@@ -615,6 +716,9 @@ func (m *Machine) runUntil(n uint64, maxCycles mem.Cycle) error {
 	if m.noSkip {
 		for m.core.Stats.Instructions < target && !m.core.Done() {
 			m.step()
+			if m.digSink != nil && m.now >= m.digNext {
+				m.emitDigests()
+			}
 			if m.winObs != nil && m.core.Stats.Instructions >= m.winNext {
 				m.sampleWindow()
 				for m.core.Stats.Instructions >= m.winNext {
@@ -636,13 +740,25 @@ func (m *Machine) runUntil(n uint64, maxCycles mem.Cycle) error {
 	m.primeSchedule()
 	for m.core.Stats.Instructions < target && !m.core.Done() {
 		next := m.evq.Next() // > m.now, or mem.NoEvent when quiescent
+		clamped := false
 		if limit := lastProgress + wedgeWindow + 1; next > limit {
-			next = limit
+			next, clamped = limit, true
 		}
 		if limit := maxCycles + 1; next > limit {
-			next = limit
+			next, clamped = limit, true
+		}
+		// Digest boundaries are visited exactly so both engines sample
+		// the same cycles (see armDigests).
+		if m.digSink != nil && next > m.digNext {
+			next, clamped = m.digNext, true
 		}
 		m.advanceTo(next)
+		if m.prof != nil {
+			m.prof.Advance(clamped)
+		}
+		if m.digSink != nil && m.now >= m.digNext {
+			m.emitDigests()
+		}
 		if m.winObs != nil && m.core.Stats.Instructions >= m.winNext {
 			m.sampleWindow()
 			for m.core.Stats.Instructions >= m.winNext {

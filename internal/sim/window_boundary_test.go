@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"testing"
+
+	"secpref/internal/probe"
+)
+
+// windowRecorder collects interval samples.
+type windowRecorder struct{ samples []probe.Sample }
+
+func (w *windowRecorder) Window(s probe.Sample) { w.samples = append(w.samples, s) }
+
+// TestWindowExactBoundary pins the sampler's window-edge semantics: a
+// retirement event landing exactly on a window boundary produces
+// exactly one sample, boundaries never repeat, and the final flush does
+// not duplicate the last sample. WindowInstrs=1 makes every retirement
+// an exact edge, the most adversarial cadence the dedupe loop faces.
+func TestWindowExactBoundary(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WarmupInstrs = 500
+	cfg.MaxInstrs = 2000
+	rec := &windowRecorder{}
+	res, err := RunProbed(cfg, smokeTrace(t, "bfs-3B", 3000), Probes{
+		Window:       rec,
+		WindowInstrs: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.samples) == 0 {
+		t.Fatal("no windows sampled")
+	}
+	for i := 1; i < len(rec.samples); i++ {
+		prev, cur := rec.samples[i-1], rec.samples[i]
+		if cur.Instructions <= prev.Instructions {
+			t.Fatalf("window %d not strictly increasing: %d then %d",
+				i, prev.Instructions, cur.Instructions)
+		}
+		if cur.Cycle <= prev.Cycle {
+			t.Fatalf("window %d cycle not strictly increasing: %d then %d",
+				i, prev.Cycle, cur.Cycle)
+		}
+	}
+	last := rec.samples[len(rec.samples)-1]
+	if last.Instructions != res.Instructions {
+		t.Errorf("final window at %d instructions, run retired %d",
+			last.Instructions, res.Instructions)
+	}
+	// With a 1-instruction window every sample is an exact edge; the
+	// sample count may be below the instruction count (several retires
+	// in one cycle collapse into one sample) but never above it.
+	if uint64(len(rec.samples)) > res.Instructions {
+		t.Errorf("%d samples for %d instructions: boundary sampled twice",
+			len(rec.samples), res.Instructions)
+	}
+}
+
+// TestWindowCoarseBoundary covers the multi-crossing case: a wide
+// retire window can step over several boundaries in one cycle; the
+// dedupe loop must emit one sample and re-arm past the crossed edges.
+func TestWindowCoarseBoundary(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WarmupInstrs = 0
+	cfg.MaxInstrs = 5000
+	rec := &windowRecorder{}
+	res, err := RunProbed(cfg, smokeTrace(t, "bfs-3B", 5500), Probes{
+		Window:       rec,
+		WindowInstrs: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint64]bool)
+	for _, s := range rec.samples {
+		if seen[s.Instructions] {
+			t.Fatalf("duplicate window at %d instructions", s.Instructions)
+		}
+		seen[s.Instructions] = true
+	}
+	want := res.Instructions/100 + 1 // plus the final flush
+	if uint64(len(rec.samples)) > want {
+		t.Errorf("%d samples, at most %d boundaries exist", len(rec.samples), want)
+	}
+}

@@ -1,0 +1,28 @@
+package tlb
+
+import "secpref/internal/observatory"
+
+// StateDigest hashes the translation hierarchy's architectural state:
+// both levels' valid entries with their recency stamps plus the access
+// counter.
+func (h *Hierarchy) StateDigest() uint64 {
+	d := observatory.NewDigest()
+	d = digestLevel(d, h.l1)
+	d = digestLevel(d, h.stlb)
+	d = d.Word(h.Stats.Accesses)
+	return d.Sum()
+}
+
+func digestLevel(d observatory.Digest, l *level) observatory.Digest {
+	d = d.Word(uint64(l.clock))
+	for s := range l.sets {
+		for w := range l.sets[s] {
+			e := &l.sets[s][w]
+			if !e.valid {
+				continue
+			}
+			d = d.Word(uint64(s)).Word(uint64(w)).Word(uint64(e.page)).Word(uint64(e.lru))
+		}
+	}
+	return d
+}
