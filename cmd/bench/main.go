@@ -31,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"secpref/internal/multicore"
 	"secpref/internal/observatory"
 	"secpref/internal/probe"
 	"secpref/internal/sim"
@@ -60,9 +61,133 @@ type Baseline struct {
 	Speedup          float64     `json:"speedup"`
 	Probed           Measurement `json:"probed"`
 	ProbeOverheadPct float64     `json:"probe_overhead_pct"`
+	// Multicore is the 4-core engine's section, written and checked by
+	// the -multicore mode; single-core invocations leave it untouched.
+	Multicore *MulticoreBaseline `json:"multicore,omitempty"`
 }
 
 const scenario = "602.gcc-1850B, 50k instrs, secure GhostMinion + TSB + SUF + Berti"
+
+// MulticoreBaseline is the 4-core engine's before/after record inside
+// BENCH_baseline.json: the serial lockstep reference versus the
+// barrier-parallel engine over the same mix (bit-identical output, the
+// measurement enforces it).
+type MulticoreBaseline struct {
+	Scenario string      `json:"scenario"`
+	Lockstep Measurement `json:"lockstep"`
+	Parallel Measurement `json:"parallel"`
+	Speedup  float64     `json:"speedup"`
+}
+
+// The bench scenario is rate mode (four copies of the memory-bound
+// mcf trace, disjoint address spaces): every core spends most cycles
+// waiting on the shared DRAM, which is both the contention case the
+// paper's multi-core study is about and the one where the event
+// engine's idle-skipping has cycles to reclaim. A compute-bound mix
+// ticks every component every cycle on either engine.
+const mcScenario = "4-core rate 605.mcf-1554B, 10k instrs/core, secure GhostMinion + TSB + SUF + Berti"
+
+var mcTraces = []string{"605.mcf-1554B", "605.mcf-1554B", "605.mcf-1554B", "605.mcf-1554B"}
+
+func multicoreConfig() multicore.Config {
+	cfg := multicore.DefaultConfig()
+	cfg.Single.WarmupInstrs = 2000
+	cfg.Single.MaxInstrs = 10_000
+	cfg.Single.Secure = true
+	cfg.Single.SUF = true
+	cfg.Single.Prefetcher = "berti"
+	cfg.Single.Mode = sim.ModeTimelySecure
+	return cfg
+}
+
+// measureMulticoreOnce times one 4-core run on the selected engine and
+// fingerprints its full Result. InstrsPerSec counts instructions
+// retired across all cores in the measured window.
+func measureMulticoreOnce(lockstep bool) (Measurement, uint64, error) {
+	mix := make([]trace.Source, len(mcTraces))
+	for i, n := range mcTraces {
+		tr, err := workload.Get(n, workload.Params{Instrs: 12_000, Seed: 1})
+		if err != nil {
+			return Measurement{}, 0, err
+		}
+		mix[i] = trace.NewSource(tr)
+	}
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	res, err := multicore.RunProbed(multicoreConfig(), mix, multicore.Probes{ReferenceEngine: lockstep})
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	if err != nil {
+		return Measurement{}, 0, err
+	}
+	var instrs uint64
+	for _, rc := range res.PerCore {
+		instrs += rc.Instructions
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		return Measurement{}, 0, err
+	}
+	return Measurement{
+		Date:          time.Now().UTC().Format("2006-01-02"),
+		GoVersion:     runtime.Version(),
+		EngineVersion: sim.EngineVersion,
+		NsPerOp:       float64(elapsed.Nanoseconds()),
+		InstrsPerSec:  float64(instrs) / elapsed.Seconds(),
+		AllocsPerOp:   float64(ms1.Mallocs - ms0.Mallocs),
+	}, observatory.HashBytes(raw), nil
+}
+
+// measureMulticore interleaves lockstep/parallel pairs (same drift
+// cancellation as measure) and insists on one digest across engines
+// and runs — the speedup is only meaningful if the outputs are
+// bit-identical.
+func measureMulticore(runs int) (lockstep, parallel Measurement, speedup float64, digest uint64, err error) {
+	if _, _, err = measureMulticoreOnce(false); err != nil {
+		return
+	}
+	for i := 0; i < runs; i++ {
+		var l, p Measurement
+		var ld, pd uint64
+		if l, ld, err = measureMulticoreOnce(true); err != nil {
+			return
+		}
+		if p, pd, err = measureMulticoreOnce(false); err != nil {
+			return
+		}
+		if ld != pd {
+			err = fmt.Errorf("parallel engine changed the simulation output: digest %#x != %#x", pd, ld)
+			return
+		}
+		if digest != 0 && ld != digest {
+			err = fmt.Errorf("non-deterministic simulation output: digest %#x != %#x", ld, digest)
+			return
+		}
+		digest = ld
+		if i == 0 {
+			lockstep, parallel = l, p
+		}
+		if l.NsPerOp < lockstep.NsPerOp {
+			a := lockstep.AllocsPerOp
+			lockstep = l
+			lockstep.AllocsPerOp = a
+		}
+		if l.AllocsPerOp < lockstep.AllocsPerOp {
+			lockstep.AllocsPerOp = l.AllocsPerOp
+		}
+		if p.NsPerOp < parallel.NsPerOp {
+			a := parallel.AllocsPerOp
+			parallel = p
+			parallel.AllocsPerOp = a
+		}
+		if p.AllocsPerOp < parallel.AllocsPerOp {
+			parallel.AllocsPerOp = p.AllocsPerOp
+		}
+	}
+	return lockstep, parallel, lockstep.NsPerOp / parallel.NsPerOp, digest, nil
+}
 
 func measureOnce(probed bool) (Measurement, uint64, error) {
 	tr, err := workload.Get("602.gcc-1850B", workload.Params{Instrs: 50_000, Seed: 1})
@@ -234,6 +359,10 @@ type HistoryRecord struct {
 	ProbedAllocsPerOp float64 `json:"probed_allocs_per_op"`
 	ProbeOverheadPct  float64 `json:"probe_overhead_pct"`
 	OutputDigest      string  `json:"output_digest"`
+	// Multicore-mode extras: the serial reference's time and the
+	// parallel engine's speedup over it.
+	LockstepNsPerOp   float64 `json:"lockstep_ns_per_op,omitempty"`
+	SpeedupVsLockstep float64 `json:"speedup_vs_lockstep,omitempty"`
 }
 
 // readHistory parses a JSONL history file, ignoring blank lines. A
@@ -304,6 +433,8 @@ func main() {
 	tol := flag.Float64("tol", 25, "allowed slowdown vs baseline 'after', percent")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measurement runs to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile (after the runs) to this file")
+	mcMode := flag.Bool("multicore", false, "measure the 4-core engine (parallel vs serial lockstep) instead of the single-core scenario")
+	minSpeedup := flag.Float64("min-speedup", 0, "with -multicore: fail unless the parallel engine beats lockstep by this factor")
 	flag.Parse()
 	if *runs < 1 {
 		fmt.Fprintln(os.Stderr, "bench: -runs must be at least 1")
@@ -328,9 +459,22 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	m, mp, overhead, digest, err := measure(*runs)
+	var m, mp, lockstep Measurement
+	var overhead, speedup float64
+	var digest uint64
+	var err error
+	if *mcMode {
+		lockstep, m, speedup, digest, err = measureMulticore(*runs)
+	} else {
+		m, mp, overhead, digest, err = measure(*runs)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	if *mcMode && *minSpeedup > 0 && speedup < *minSpeedup {
+		fmt.Fprintf(os.Stderr, "bench: parallel engine speedup %.2fx below required %.2fx (lockstep %.1f ms/op, parallel %.1f ms/op)\n",
+			speedup, *minSpeedup, lockstep.NsPerOp/1e6, m.NsPerOp/1e6)
 		os.Exit(1)
 	}
 
@@ -357,21 +501,35 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		b.Benchmark = "SimulatorThroughput"
-		b.Scenario = scenario
-		b.After = m
-		b.Probed = mp
-		if b.Before.NsPerOp > 0 {
-			b.Speedup = b.Before.NsPerOp / b.After.NsPerOp
+		if *mcMode {
+			b.Multicore = &MulticoreBaseline{
+				Scenario: mcScenario,
+				Lockstep: lockstep,
+				Parallel: m,
+				Speedup:  speedup,
+			}
+		} else {
+			b.Benchmark = "SimulatorThroughput"
+			b.Scenario = scenario
+			b.After = m
+			b.Probed = mp
+			if b.Before.NsPerOp > 0 {
+				b.Speedup = b.Before.NsPerOp / b.After.NsPerOp
+			}
+			b.ProbeOverheadPct = overhead
 		}
-		b.ProbeOverheadPct = overhead
 		out, _ := json.MarshalIndent(&b, "", "  ")
 		if err := os.WriteFile(*update, append(out, '\n'), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("updated %s: %.1f ms/op, %.0f instrs/s, %.0fx vs before; probed %.1f ms/op (%.1f%% overhead)\n",
-			*update, m.NsPerOp/1e6, m.InstrsPerSec, b.Speedup, mp.NsPerOp/1e6, b.ProbeOverheadPct)
+		if *mcMode {
+			fmt.Printf("updated %s: 4-core parallel %.1f ms/op (%.0f instrs/s), lockstep %.1f ms/op, %.2fx\n",
+				*update, m.NsPerOp/1e6, m.InstrsPerSec, lockstep.NsPerOp/1e6, speedup)
+		} else {
+			fmt.Printf("updated %s: %.1f ms/op, %.0f instrs/s, %.0fx vs before; probed %.1f ms/op (%.1f%% overhead)\n",
+				*update, m.NsPerOp/1e6, m.InstrsPerSec, b.Speedup, mp.NsPerOp/1e6, b.ProbeOverheadPct)
+		}
 	case *check != "":
 		data, err := os.ReadFile(*check)
 		if err != nil {
@@ -382,6 +540,20 @@ func main() {
 		if err := json.Unmarshal(data, &b); err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %s: %v\n", *check, err)
 			os.Exit(1)
+		}
+		if *mcMode {
+			if b.Multicore == nil {
+				fmt.Fprintf(os.Stderr, "bench: %s has no multicore section; run -multicore -update first\n", *check)
+				os.Exit(1)
+			}
+			slowdown := (m.NsPerOp/b.Multicore.Parallel.NsPerOp - 1) * 100
+			fmt.Printf("multicore: %.1f ms/op (%.0f instrs/s, %.2fx vs lockstep); baseline: %.1f ms/op; slowdown %.1f%% (tolerance %.0f%%)\n",
+				m.NsPerOp/1e6, m.InstrsPerSec, speedup, b.Multicore.Parallel.NsPerOp/1e6, slowdown, *tol)
+			if slowdown > *tol {
+				fmt.Fprintln(os.Stderr, "bench: performance regression beyond tolerance")
+				os.Exit(1)
+			}
+			break
 		}
 		slowdown := (m.NsPerOp/b.After.NsPerOp - 1) * 100
 		fmt.Printf("current: %.1f ms/op (%.0f instrs/s); baseline: %.1f ms/op; slowdown %.1f%% (tolerance %.0f%%)\n",
@@ -399,6 +571,16 @@ func main() {
 		}
 	default:
 		if *history != "" {
+			break
+		}
+		if *mcMode {
+			out, _ := json.MarshalIndent(&struct {
+				Lockstep     Measurement `json:"lockstep"`
+				Parallel     Measurement `json:"parallel"`
+				Speedup      float64     `json:"speedup"`
+				OutputDigest string      `json:"output_digest"`
+			}{lockstep, m, speedup, fmt.Sprintf("%016x", digest)}, "", "  ")
+			fmt.Println(string(out))
 			break
 		}
 		out, _ := json.MarshalIndent(&struct {
@@ -428,6 +610,13 @@ func main() {
 			ProbedAllocsPerOp: mp.AllocsPerOp,
 			ProbeOverheadPct:  overhead,
 			OutputDigest:      fmt.Sprintf("%016x", digest),
+		}
+		if *mcMode {
+			// Its own scenario string keeps checkHistory's same-scenario
+			// median from mixing single- and multi-core records.
+			rec.Scenario = mcScenario
+			rec.LockstepNsPerOp = lockstep.NsPerOp
+			rec.SpeedupVsLockstep = speedup
 		}
 		note, herr := checkHistory(prior, rec, *tol)
 		// Append before deciding: a regressed record still belongs in the

@@ -4,7 +4,7 @@
 //
 //	experiments [-quick] [-instrs N] [-warmup N] [-mixes N] [-traces a,b,c]
 //	            [-timeseries DIR] [-http ADDR] [-leakage-gate] [-digest-gate]
-//	            [-simprofile PATH] [-fig id | -table n | -all]
+//	            [-multicore-gate] [-simprofile PATH] [-fig id | -table n | -all]
 //
 // Each experiment prints the same rows/series the paper reports (see
 // DESIGN.md for the per-experiment index). -all runs everything in
@@ -72,6 +72,7 @@ func main() {
 		httpAddr   = flag.String("http", "", "serve live campaign telemetry (/metrics, /debug/vars, /debug/pprof) on this address")
 		leakGate   = flag.Bool("leakage-gate", false, "fail unless the secure configuration audits zero tainted survivors and zero speculative trains (CI gate)")
 		digestGate = flag.Bool("digest-gate", false, "fail unless the event engine and the lockstep reference agree at every state-digest checkpoint (CI gate)")
+		mcGate     = flag.Bool("multicore-gate", false, "fail unless the barrier-parallel multicore engine matches the serial lockstep reference bit-for-bit on representative mixes (CI gate)")
 		simProfile = flag.String("simprofile", "", "aggregate engine-attribution profiling across all runs and write the sim-profile table as PATH.json and PATH.csv")
 	)
 	flag.Parse()
@@ -116,7 +117,7 @@ func main() {
 		ids = []string{id}
 	case *tabID != "":
 		ids = []string{"table" + *tabID}
-	case *leakGate, *digestGate:
+	case *leakGate, *digestGate, *mcGate:
 		// Gate-only invocation: no experiment tables, just the checks.
 	case *timeseries != "":
 		// A time-series export with no experiment selected defaults to the
@@ -193,6 +194,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "experiments: digest gate passed in %.1fs (event and reference engines agree at every checkpoint)\n", time.Since(start).Seconds())
+	}
+	if *mcGate {
+		start := time.Now()
+		if err := r.MulticoreEquivalenceGate(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: multicore gate passed in %.1fs (parallel and reference engines bit-identical; barrier interval immaterial)\n", time.Since(start).Seconds())
 	}
 	if aggregate != nil {
 		if err := writeSimProfile(aggregate, *simProfile); err != nil {

@@ -7,8 +7,7 @@ import (
 	"sync"
 
 	"secpref/internal/multicore"
-	"secpref/internal/trace"
-	"secpref/internal/workload"
+	"secpref/internal/observatory"
 )
 
 // fig15Variants are the six systems of Figure 15, in legend order.
@@ -102,15 +101,24 @@ func (r *Runner) runMix(v cfgVariant, names []string) (*multicore.Result, error)
 	// many mixes stays tractable.
 	cfg.Single.MaxInstrs = r.opts.Instrs / 2
 	cfg.Single.WarmupInstrs = r.opts.Warmup / 2
-	mix := make([]trace.Source, len(names))
-	for i, name := range names {
-		tr, err := workload.Get(name, workload.Params{Instrs: r.opts.Instrs + r.opts.Warmup, Seed: r.opts.Seed})
-		if err != nil {
-			return nil, err
-		}
-		mix[i] = trace.NewSource(tr)
+	mix, err := r.mixSources(names)
+	if err != nil {
+		return nil, err
 	}
-	return multicore.Run(cfg, mix)
+	var probes multicore.Probes
+	var prof *observatory.Profile
+	if r.opts.Profile != nil {
+		prof = observatory.NewProfile()
+		probes.Profile = prof
+	}
+	res, err := multicore.RunProbed(cfg, mix, probes)
+	if err != nil {
+		return nil, err
+	}
+	if prof != nil {
+		r.opts.Profile.Add(prof)
+	}
+	return res, nil
 }
 
 // sumIPCRatio computes Σ_i IPC_i(cfg)/IPC_i(base) — with identical

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+
+	"secpref/internal/multicore"
+	"secpref/internal/observatory"
+	"secpref/internal/sim"
+	"secpref/internal/trace"
+	"secpref/internal/workload"
+)
+
+// multicoreGateVariants mirror the single-core digest gate's coverage:
+// the full secure stack and a non-secure on-access system.
+func multicoreGateVariants() []cfgVariant {
+	return []cfgVariant{
+		timelySecureSUF("berti"),
+		onAccessNonSecure("berti"),
+	}
+}
+
+// mixSources builds the trace sources for one named mix with the
+// runner's budgets (the runMix convention).
+func (r *Runner) mixSources(names []string) ([]trace.Source, error) {
+	mix := make([]trace.Source, len(names))
+	for i, name := range names {
+		tr, err := workload.Get(name, workload.Params{Instrs: r.opts.Instrs + r.opts.Warmup, Seed: r.opts.Seed})
+		if err != nil {
+			return nil, err
+		}
+		mix[i] = trace.NewSource(tr)
+	}
+	return mix, nil
+}
+
+// MulticoreEquivalenceGate runs representative 4-core mixes under the
+// barrier-parallel engine and the serial lockstep reference with
+// rolling digest recorders attached, and fails on any disagreement:
+// a divergent digest checkpoint, a differing stop cycle, differing
+// per-core results (which would silently skew the weighted-speedup
+// table), or a barrier-interval sensitivity (interval 1 vs the safety
+// bound must be bit-identical). It is the multi-core twin of
+// DigestEquivalenceGate.
+func (r *Runner) MulticoreEquivalenceGate() error {
+	mixes := r.randomMixes()
+	if len(mixes) > 2 {
+		mixes = mixes[:2]
+	}
+	var failures []string
+	for _, v := range multicoreGateVariants() {
+		for mi, names := range mixes {
+			cfg := multicore.Config{Single: v.config(r.opts), Cores: len(names)}
+			// Same reduced per-core budget as the campaign's runMix, so
+			// the gate certifies exactly what Fig15 computes.
+			cfg.Single.MaxInstrs = r.opts.Instrs / 2
+			cfg.Single.WarmupInstrs = r.opts.Warmup / 2
+			id := fmt.Sprintf("%s/mix%02d", v.label, mi)
+
+			run := func(p multicore.Probes) (*multicore.Result, *observatory.Recorder, error) {
+				mix, err := r.mixSources(names)
+				if err != nil {
+					return nil, nil, err
+				}
+				rec := observatory.NewRecorder()
+				p.Digest = rec
+				p.DigestEvery = 1024
+				res, err := multicore.RunProbed(cfg, mix, p)
+				return res, rec, err
+			}
+			par, recPar, err := run(multicore.Probes{})
+			if err != nil {
+				return fmt.Errorf("multicore gate %s (parallel): %w", id, err)
+			}
+			ref, recRef, err := run(multicore.Probes{ReferenceEngine: true})
+			if err != nil {
+				return fmt.Errorf("multicore gate %s (reference): %w", id, err)
+			}
+			narrow, _, err := run(multicore.Probes{Interval: 1})
+			if err != nil {
+				return fmt.Errorf("multicore gate %s (interval=1): %w", id, err)
+			}
+
+			if recPar.Len() == 0 {
+				return fmt.Errorf("multicore gate %s: no digest checkpoints recorded", id)
+			}
+			if div, ok := observatory.FirstDivergence(recPar, recRef); ok {
+				failures = append(failures, fmt.Sprintf("%s: %s diverges at cycle %d (%#x != %#x)",
+					id, multicoreComponent(cfg.Cores, div.Component), div.Cycle, div.A, div.B))
+				continue
+			}
+			if par.Cycles != ref.Cycles {
+				failures = append(failures, fmt.Sprintf("%s: stop cycle %d (parallel) != %d (reference)",
+					id, par.Cycles, ref.Cycles))
+			}
+			for i := range par.PerCore {
+				if par.PerCore[i].IPC != ref.PerCore[i].IPC || par.PerCore[i].Instructions != ref.PerCore[i].Instructions {
+					failures = append(failures, fmt.Sprintf("%s: core %d result diverges (IPC %.6f != %.6f)",
+						id, i, par.PerCore[i].IPC, ref.PerCore[i].IPC))
+				}
+			}
+			if !digestsEqual(par.FinalDigests, narrow.FinalDigests) {
+				failures = append(failures, fmt.Sprintf("%s: interval 1 vs safety bound final digests differ", id))
+			}
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("multicore engine divergence:\n  %s", joinLines(failures))
+	}
+	return nil
+}
+
+// multicoreComponent names an index of the n-core digest vector.
+func multicoreComponent(n, c int) string {
+	if c < 0 {
+		return "structural"
+	}
+	names := sim.MulticoreComponentNames(n)
+	if c < len(names) {
+		return names[c]
+	}
+	return fmt.Sprintf("component %d", c)
+}
+
+func digestsEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

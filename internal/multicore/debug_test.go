@@ -10,7 +10,9 @@ import (
 )
 
 // TestDebugMulticoreWedge reproduces a wedged 4-core run with state
-// dumps (diagnostic harness).
+// dumps (diagnostic harness). It drives the sharded system's lockstep
+// reference path by hand so every private queue is inspectable at the
+// wedge cycle.
 func TestDebugMulticoreWedge(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-heavy")
@@ -31,23 +33,23 @@ func TestDebugMulticoreWedge(t *testing.T) {
 		}
 		mix[i] = trace.NewSource(tr)
 	}
-	machines, llc, dramTick, err := sim.BuildShared(cfg, 4, mix)
+	sys, err := sim.BuildSharded(cfg, 4, mix, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
+	llc := sys.Shared.LLC()
 	var now mem.Cycle
 	var lastSum uint64
 	lastProgress := now
 	for {
 		now++
-		for _, m := range machines {
-			m.TickCore(now)
+		for _, m := range sys.Cores {
+			m.StepCore(now)
 		}
-		llc.Tick(now)
-		dramTick(now)
+		sys.Shared.LockstepCycle(now)
 		var sum uint64
 		allDone := true
-		for _, m := range machines {
+		for _, m := range sys.Cores {
 			sum += m.Instructions()
 			if m.Instructions() < 11_000 {
 				allDone = false
@@ -62,7 +64,7 @@ func TestDebugMulticoreWedge(t *testing.T) {
 			lastProgress = now
 		} else if now-lastProgress > 200_000 {
 			t.Logf("WEDGED at cycle %d", now)
-			for i, m := range machines {
+			for i, m := range sys.Cores {
 				t.Logf("core %d: instrs=%d %s", i, m.Instructions(), m.CoreDebug())
 				t.Logf("  L1D wq=%d pq=%d fills=%d mshrFree=%d fwd=%d | L2 wq=%d fills=%d mshrFree=%d",
 					m.L1DDebug().DebugWQ(), m.L1DDebug().DebugPQ(), m.L1DDebug().DebugFills(), m.L1DDebug().MSHRFree(), m.L1DDebug().DebugFwd(),

@@ -3,14 +3,31 @@
 // one DRAM channel per four cores (Table II). Each core runs its own
 // trace; results are reported as weighted speedup against single-core
 // baseline IPCs, as in §VII-B.
+//
+// The engine is a conservative barrier-synchronized parallel simulator:
+// every core's private domain (core, GM, L1D, L2, prefetcher, link)
+// advances independently — optionally on its own goroutine — through
+// one epoch at a time, using the calendar-queue event machinery from
+// the single-core engine. The shared LLC/DRAM domain then drains the
+// cores' buffered requests in a seeded deterministic merge order and
+// catches up to the barrier. Because the L2-to-LLC link delays
+// responses by LinkLatency cycles, any epoch no longer than that bound
+// cannot leak same-epoch shared-domain state into a core, so results
+// are bit-identical regardless of GOMAXPROCS, goroutine scheduling, or
+// barrier interval. A true lockstep loop (every component ticked every
+// cycle, one goroutine) is kept as the reference engine; the digest
+// gate and observatory.Bisect compare the two. See
+// docs/performance.md.
 package multicore
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 
-	"secpref/internal/cache"
 	"secpref/internal/mem"
+	"secpref/internal/observatory"
 	"secpref/internal/sim"
 	"secpref/internal/trace"
 )
@@ -23,11 +40,46 @@ type Config struct {
 	Single sim.Config
 	// Cores is the core count (the paper evaluates 4).
 	Cores int
+	// LinkLatency is the private-L2 to shared-LLC interconnect latency;
+	// zero selects sim.DefaultLinkLatency. It is also the epoch-safety
+	// bound: barrier intervals above it are rejected.
+	LinkLatency mem.Cycle
+	// Seed parameterizes the shared domain's deterministic drain
+	// rotation (same-cycle cross-core tie-breaking).
+	Seed uint64
 }
 
 // DefaultConfig returns the paper's 4-core setup.
 func DefaultConfig() Config {
 	return Config{Single: sim.DefaultConfig(), Cores: 4}
+}
+
+// Probes configures observability and engine selection for one run.
+// The zero value runs the parallel engine unobserved at the safety
+// bound.
+type Probes struct {
+	// Digest, when non-nil, receives the system digest vector (per-core
+	// private blocks then shared LLC/DRAM; sim.MulticoreComponentNames)
+	// at every DigestEvery barrier cycle.
+	Digest observatory.DigestSink
+	// DigestEvery is the digest interval; zero means
+	// sim.DefaultDigestEvery. Barriers are clamped to digest boundaries
+	// so both engines sample identical cycles.
+	DigestEvery mem.Cycle
+	// Profile, when non-nil, accumulates engine-attribution counters
+	// from every core's private advance loop and the shared domain
+	// (sim.ShardProfileRanks vocabulary).
+	Profile *observatory.Profile
+	// ReferenceEngine selects the serial lockstep loop instead of the
+	// barrier-parallel engine.
+	ReferenceEngine bool
+	// Interval is the barrier interval in cycles; zero means the
+	// safety bound (LinkLatency). Values above the bound are rejected.
+	Interval mem.Cycle
+	// Workers caps the goroutines advancing core domains: 0 means
+	// min(GOMAXPROCS, Cores), 1 runs cores inline on the calling
+	// goroutine (identical results either way — that is the point).
+	Workers int
 }
 
 // Result aggregates the per-core results of one mix.
@@ -36,6 +88,10 @@ type Result struct {
 	// Cycles is the wall-clock cycles until every core finished its
 	// measured instruction budget.
 	Cycles uint64
+	// FinalDigests is the system state-digest vector at the stop cycle
+	// (sim.MulticoreComponentNames order) — the bit-identity witness
+	// the determinism suite and the cross-engine gate compare.
+	FinalDigests []uint64
 }
 
 // WeightedSpeedup computes sum_i(IPC_i / IPCalone_i) given the
@@ -57,87 +113,383 @@ func (r *Result) WeightedSpeedup(alone []float64) (float64, error) {
 // ErrMixSize reports a trace/core count mismatch.
 var ErrMixSize = errors.New("multicore: mix size must equal core count")
 
-// Run simulates the mix (one trace per core) to completion: all cores
-// retire their measured budget; cores that finish early keep consuming
-// shared resources replaying their trace, as ChampSim does.
-func Run(cfg Config, mix []trace.Source) (*Result, error) {
+// Engine drives one multi-core run. It implements
+// observatory.DigestEngine, so serial-vs-parallel divergences can be
+// bisected to the exact cycle with observatory.Bisect.
+type Engine struct {
+	cfg    Config
+	mix    []trace.Source
+	sys    *sim.ShardedSystem
+	noSkip bool
+
+	interval  mem.Cycle
+	workers   int
+	maxCycles mem.Cycle
+
+	now          mem.Cycle
+	phase        int // 0 = warmup, 1 = measured
+	target       uint64
+	measureStart mem.Cycle
+	// reached[i] is the first cycle core i's retired count hit the
+	// current phase target, or mem.NoEvent while it has not.
+	reached []mem.Cycle
+	// Per-core wedge detection, advanced at barriers.
+	lastInstr  []uint64
+	lastProgAt []mem.Cycle
+
+	digSink  observatory.DigestSink
+	digEvery mem.Cycle
+	digNext  mem.Cycle
+	digBuf   []uint64
+
+	// profiles holds one attribution profile per core plus one for the
+	// shared domain; they merge into finalProfile when the run ends.
+	profiles     []*observatory.Profile
+	finalProfile *observatory.Profile
+
+	done   bool
+	err    error
+	cycles mem.Cycle // measured-window length, valid once done
+}
+
+// NewEngine builds the sharded system and prepares a run. The workload
+// starts at cycle zero; drive it with Run (to completion) or RunToCycle
+// (bisection).
+func NewEngine(cfg Config, mix []trace.Source, p Probes) (*Engine, error) {
 	if len(mix) != cfg.Cores {
 		return nil, ErrMixSize
 	}
-	machines, llc, dramTick, err := build(cfg, mix)
+	sys, err := sim.BuildSharded(cfg.Single, cfg.Cores, mix, cfg.LinkLatency, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
-	_ = llc
-
-	warmup := uint64(cfg.Single.WarmupInstrs)
-	measured := uint64(cfg.Single.MaxInstrs)
+	interval := p.Interval
+	if interval == 0 {
+		interval = sys.LinkLatency
+	}
+	if interval > sys.LinkLatency {
+		return nil, fmt.Errorf("multicore: barrier interval %d exceeds the safety bound %d (LinkLatency)",
+			interval, sys.LinkLatency)
+	}
+	workers := p.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Cores {
+		workers = cfg.Cores
+	}
 	maxCycles := cfg.Single.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = mem.Cycle(2000 * (cfg.Single.WarmupInstrs + cfg.Single.MaxInstrs))
 	}
-
-	var now mem.Cycle
-	stepAll := func() {
-		now++
-		for _, m := range machines {
-			m.TickCore(now)
-		}
-		llc.Tick(now)
-		dramTick(now)
+	e := &Engine{
+		cfg:        cfg,
+		mix:        mix,
+		sys:        sys,
+		noSkip:     p.ReferenceEngine,
+		interval:   interval,
+		workers:    workers,
+		maxCycles:  maxCycles,
+		reached:    make([]mem.Cycle, cfg.Cores),
+		lastInstr:  make([]uint64, cfg.Cores),
+		lastProgAt: make([]mem.Cycle, cfg.Cores),
 	}
-	reached := func(n uint64) bool {
-		for _, m := range machines {
-			if m.Instructions() < n {
-				return false
-			}
-		}
-		return true
+	for i := range e.reached {
+		e.reached[i] = mem.NoEvent
 	}
-	lastProgress := now
-	var lastSum uint64
-	runTo := func(n uint64) error {
-		for !reached(n) {
-			stepAll()
-			var sum uint64
-			for _, m := range machines {
-				sum += m.Instructions()
-			}
-			if sum != lastSum {
-				lastSum = sum
-				lastProgress = now
-			} else if now-lastProgress > 500_000 {
-				return sim.ErrNoProgress
-			}
-			if now > maxCycles {
-				return fmt.Errorf("multicore: cycle budget exhausted at %d", now)
-			}
-		}
-		return nil
-	}
-
-	if warmup > 0 {
-		if err := runTo(warmup); err != nil {
-			return nil, err
-		}
-		// Stats (including retired-instruction counters) reset to zero,
-		// so the measured target below is relative to the reset.
-		for _, m := range machines {
-			m.ResetStats()
+	if e.noSkip {
+		for _, m := range sys.Cores {
+			m.UseReferenceEngine(true)
 		}
 	}
-	start := now
-	if err := runTo(measured); err != nil {
-		return nil, err
+	e.target = uint64(cfg.Single.WarmupInstrs)
+	if e.target == 0 {
+		e.phase, e.target = 1, uint64(cfg.Single.MaxInstrs)
 	}
-	res := &Result{Cycles: uint64(now - start)}
-	for i, m := range machines {
-		res.PerCore = append(res.PerCore, m.Snapshot(mix[i].Name(), now-start))
+	if p.Digest != nil {
+		e.digSink = p.Digest
+		e.digEvery = p.DigestEvery
+		if e.digEvery == 0 {
+			e.digEvery = sim.DefaultDigestEvery
+		}
+		e.digNext = e.digEvery
+		if rec, ok := p.Digest.(*observatory.Recorder); ok {
+			rec.EngineVersion = sim.EngineVersion
+			rec.Interval = e.digEvery
+			rec.Components = sim.MulticoreComponentNames(cfg.Cores)
+		}
 	}
-	return res, nil
+	if p.Profile != nil {
+		p.Profile.EnsureRanks(sim.ShardProfileRanks[:])
+		for _, m := range sys.Cores {
+			prof := observatory.NewProfile(sim.ShardProfileRanks[:]...)
+			m.AttachShardProfile(prof)
+			e.profiles = append(e.profiles, prof)
+		}
+		shProf := observatory.NewProfile(sim.ShardProfileRanks[:]...)
+		sys.Shared.AttachProfile(shProf)
+		e.profiles = append(e.profiles, shProf)
+		e.finalProfile = p.Profile
+	}
+	return e, nil
 }
 
-// build assembles per-core machines around a shared LLC and DRAM.
-func build(cfg Config, mix []trace.Source) ([]*sim.CoreSystem, *cache.Cache, func(mem.Cycle), error) {
-	return sim.BuildShared(cfg.Single, cfg.Cores, mix)
+// BlackHoleCore makes the shared domain silently drop core i's
+// outbound requests — a deterministic wedge injector for the
+// no-progress detector (tests only).
+func (e *Engine) BlackHoleCore(i int) { e.sys.Shared.BlackHole = i }
+
+// StateDigests appends the full system digest vector: each core's
+// private block (sim.PrivateComponentNames) then the shared LLC and
+// DRAM. Implements observatory.DigestEngine.
+func (e *Engine) StateDigests(dst []uint64) []uint64 {
+	for _, m := range e.sys.Cores {
+		dst = m.PrivateDigests(dst)
+	}
+	return e.sys.Shared.StateDigests(dst)
+}
+
+// Now returns the barrier cycle the whole system has completed.
+func (e *Engine) Now() mem.Cycle { return e.now }
+
+// RunToCycle advances the system to exactly cycle t (or the stop cycle
+// if the workload finishes first) and reports the cycle reached and
+// whether the run is complete. Implements observatory.DigestEngine;
+// repeated calls with increasing targets continue the same run.
+func (e *Engine) RunToCycle(t mem.Cycle) (mem.Cycle, bool, error) {
+	if e.err != nil {
+		return e.now, e.done, e.err
+	}
+	for e.now < t && !e.done {
+		var err error
+		if e.noSkip {
+			err = e.stepLockstep()
+		} else {
+			err = e.stepEpoch(t)
+		}
+		if err != nil {
+			e.err = err
+			return e.now, false, err
+		}
+	}
+	return e.now, e.done, nil
+}
+
+// Run drives the simulation to completion: all cores retire their
+// measured budget; cores that finish early keep consuming shared
+// resources replaying their trace, as ChampSim does.
+func (e *Engine) Run() (*Result, error) {
+	if _, _, err := e.RunToCycle(mem.NoEvent); err != nil {
+		return nil, err
+	}
+	return e.result(), nil
+}
+
+// forCores applies f to every core, on worker goroutines when the
+// engine is parallel. Each invocation touches only core i's private
+// domain (machine, link buffers, request pool), so the only
+// synchronization needed is the join itself.
+func (e *Engine) forCores(f func(i int, m *sim.CoreSystem)) {
+	if e.workers <= 1 {
+		for i, m := range e.sys.Cores {
+			f(i, m)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i, m := range e.sys.Cores {
+		wg.Add(1)
+		go func(i int, m *sim.CoreSystem) {
+			defer wg.Done()
+			f(i, m)
+		}(i, m)
+	}
+	wg.Wait()
+}
+
+// stepEpoch runs one barrier epoch of the parallel engine: cores first
+// (independently, possibly concurrently), then the shared domain, then
+// the barrier bookkeeping. Epochs are clamped to digest boundaries and
+// the caller's limit. The phase target is resolved with two-stage
+// staging: stage one pauses each unfinished core at the exact cycle it
+// reaches the target; if every core has now reached it, the global
+// stop cycle S is the max of those pause cycles and stage two brings
+// every core (including ones that finished in earlier epochs) to
+// exactly S.
+func (e *Engine) stepEpoch(limit mem.Cycle) error {
+	b := e.now + e.interval
+	if b > limit {
+		b = limit
+	}
+	if e.digSink != nil && b > e.digNext {
+		b = e.digNext
+	}
+
+	// Stage 1: unfinished cores run toward the barrier, pausing where
+	// they reach the target.
+	e.forCores(func(i int, m *sim.CoreSystem) {
+		if e.reached[i] != mem.NoEvent {
+			return
+		}
+		if c, hit := m.AdvanceCore(b, e.target); hit {
+			e.reached[i] = c
+		}
+	})
+
+	stop := mem.NoEvent
+	if e.allReached() {
+		// Global stop cycle: the slowest core's reach cycle (never
+		// before the last completed barrier).
+		s := e.now
+		for _, c := range e.reached {
+			if c > s {
+				s = c
+			}
+		}
+		stop = s
+		b = s
+	}
+
+	// Stage 2: bring every core that is short of the (possibly
+	// tightened) barrier to exactly it.
+	e.forCores(func(i int, m *sim.CoreSystem) {
+		if m.Now() < b {
+			m.AdvanceCore(b, 0)
+		}
+	})
+
+	// Shared domain catches up serially, draining the cores' buffered
+	// requests in the deterministic merge order.
+	e.sys.Shared.Advance(b)
+	e.now = b
+
+	if e.digSink != nil && e.now == e.digNext {
+		e.emitDigests()
+	}
+	if stop != mem.NoEvent {
+		e.finishPhase()
+		return nil
+	}
+	return e.checkHealth()
+}
+
+// stepLockstep is the reference engine: one cycle, every component,
+// reference order (each core's private stack, then the shared drain,
+// LLC, and DRAM), with the same phase staging evaluated per cycle.
+func (e *Engine) stepLockstep() error {
+	u := e.now + 1
+	for _, m := range e.sys.Cores {
+		m.StepCore(u)
+	}
+	e.sys.Shared.LockstepCycle(u)
+	e.now = u
+
+	for i, m := range e.sys.Cores {
+		if e.reached[i] == mem.NoEvent && m.Instructions() >= e.target {
+			e.reached[i] = u
+		}
+	}
+	if e.digSink != nil && e.now == e.digNext {
+		e.emitDigests()
+	}
+	if e.allReached() {
+		e.finishPhase()
+		return nil
+	}
+	return e.checkHealth()
+}
+
+func (e *Engine) allReached() bool {
+	for _, c := range e.reached {
+		if c == mem.NoEvent {
+			return false
+		}
+	}
+	return true
+}
+
+// checkHealth is the barrier-granularity progress audit: a per-core
+// wedge detector (any unfinished core that has not retired an
+// instruction for a full wedge window fails the run — a single
+// black-holed core cannot hide behind its peers' progress) and the
+// cycle budget.
+func (e *Engine) checkHealth() error {
+	for i, m := range e.sys.Cores {
+		if e.reached[i] != mem.NoEvent {
+			continue
+		}
+		if n := m.Instructions(); n != e.lastInstr[i] {
+			e.lastInstr[i] = n
+			e.lastProgAt[i] = e.now
+		} else if e.now-e.lastProgAt[i] > sim.WedgeWindow {
+			return sim.ErrNoProgress
+		}
+	}
+	if e.now > e.maxCycles {
+		return fmt.Errorf("multicore: cycle budget exhausted at %d", e.now)
+	}
+	return nil
+}
+
+// finishPhase handles the warmup-to-measured transition and run
+// completion at the stop cycle the staging resolved.
+func (e *Engine) finishPhase() {
+	if e.phase == 0 {
+		// Stats (including retired-instruction counters) reset to zero,
+		// so the measured target below is relative to the reset.
+		for _, m := range e.sys.Cores {
+			m.ResetStats()
+		}
+		e.phase = 1
+		e.target = uint64(e.cfg.Single.MaxInstrs)
+		e.measureStart = e.now
+		for i := range e.reached {
+			e.reached[i] = mem.NoEvent
+			e.lastInstr[i] = 0
+			e.lastProgAt[i] = e.now
+		}
+		return
+	}
+	e.done = true
+	e.cycles = e.now - e.measureStart
+}
+
+// emitDigests samples the system digest vector at the current barrier.
+func (e *Engine) emitDigests() {
+	e.digBuf = e.StateDigests(e.digBuf[:0])
+	e.digSink.Digest(e.now, e.digBuf)
+	for e.digNext <= e.now {
+		e.digNext += e.digEvery
+	}
+}
+
+// result assembles the per-core snapshots and the final digest vector.
+func (e *Engine) result() *Result {
+	res := &Result{Cycles: uint64(e.cycles)}
+	for i, m := range e.sys.Cores {
+		res.PerCore = append(res.PerCore, m.Snapshot(e.mix[i].Name(), e.cycles))
+	}
+	res.FinalDigests = e.StateDigests(nil)
+	if e.finalProfile != nil {
+		for _, p := range e.profiles {
+			e.finalProfile.Merge(p)
+		}
+	}
+	return res
+}
+
+// Run simulates the mix (one trace per core) on the parallel engine
+// with default probes.
+func Run(cfg Config, mix []trace.Source) (*Result, error) {
+	return RunProbed(cfg, mix, Probes{})
+}
+
+// RunProbed simulates the mix with the given probes and engine
+// selection.
+func RunProbed(cfg Config, mix []trace.Source, p Probes) (*Result, error) {
+	e, err := NewEngine(cfg, mix, p)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run()
 }

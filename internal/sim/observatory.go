@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+
 	"secpref/internal/mem"
 	"secpref/internal/observatory"
 )
@@ -11,7 +13,7 @@ import (
 // artifacts recorded under different engines never get compared as if
 // they were interchangeable. Bump it whenever the engine's scheduling
 // or skipping behaviour changes in a way that could move numbers.
-const EngineVersion = "ev5-calendar-observatory"
+const EngineVersion = "ev6-sharded-multicore"
 
 // ComponentNames fixes the order of the per-component state-digest
 // vector (StateDigests). Absent components (GM on a non-secure system,
@@ -26,6 +28,27 @@ const NumComponents = len(ComponentNames)
 // rankNames names the calendar-queue ranks for attribution profiling,
 // in rank order.
 var rankNames = [...]string{"core", "gm", "l1d", "l2", "llc", "dram"}
+
+// PrivateComponentNames orders the per-core slice of a sharded
+// system's digest vector (Machine.PrivateDigests). The full multicore
+// vector is cores × this block followed by the shared {llc, dram} pair;
+// MulticoreComponentNames spells it out.
+var PrivateComponentNames = [...]string{"core", "gm", "l1d", "l2", "tlb", "berti", "link"}
+
+// NumPrivateComponents is the per-core digest block length.
+const NumPrivateComponents = len(PrivateComponentNames)
+
+// MulticoreComponentNames names every index of an n-core sharded
+// digest vector: core0/core, core0/gm, …, core{n-1}/link, llc, dram.
+func MulticoreComponentNames(n int) []string {
+	names := make([]string, 0, n*NumPrivateComponents+2)
+	for i := 0; i < n; i++ {
+		for _, c := range PrivateComponentNames {
+			names = append(names, fmt.Sprintf("core%d/%s", i, c))
+		}
+	}
+	return append(names, "llc", "dram")
+}
 
 // DefaultDigestEvery is the digest-stream interval when
 // Probes.DigestEvery is zero.

@@ -1,0 +1,769 @@
+// Sharded multi-core support: the per-core link (the private-L2 to
+// shared-LLC interconnect), the shared LLC/DRAM domain with its
+// deterministic cross-core drain, and the private-domain event engine
+// that advances one core system independently of its peers.
+//
+// Topology: each core's L2 forwards into its CoreLink instead of the
+// shared LLC directly. The link buffers outbound requests (stamped with
+// their issue cycle) until the shared domain drains them, and delays
+// responses by LinkLatency cycles on the way back. Because a response
+// produced at shared cycle u becomes visible to the core only at
+// u+LinkLatency, a core advanced through cycle T needs nothing the
+// shared domain produces after T-ε for any epoch of length ε ≤
+// LinkLatency — the epoch-safety bound that lets every core run a whole
+// barrier interval without observing its peers. See docs/performance.md.
+package sim
+
+import (
+	"secpref/internal/cache"
+	seccore "secpref/internal/core"
+	"secpref/internal/cpu"
+	"secpref/internal/dram"
+	"secpref/internal/event"
+	"secpref/internal/ghostminion"
+	"secpref/internal/mem"
+	"secpref/internal/observatory"
+	"secpref/internal/tlb"
+	"secpref/internal/trace"
+)
+
+// DefaultLinkLatency is the private-L2 to shared-LLC interconnect
+// latency (response path) when the multicore configuration does not
+// override it. It doubles as the parallel engine's maximum barrier
+// interval.
+const DefaultLinkLatency mem.Cycle = 24
+
+// rankLink is the link's slot in a private core system's calendar: it
+// occupies the position the LLC holds in the single-core rank order
+// (core < GM < L1D < L2 < link), so cross-component clock reads behave
+// exactly as they do in the lockstep reference.
+const rankLink = rankLLC
+
+// ShardProfileRanks names the attribution ranks of a sharded multicore
+// run. Indices 0-5 match the single-core vocabulary (so campaign
+// aggregates mixing single- and multi-core runs line up); the link is
+// appended as rank 6.
+var ShardProfileRanks = [...]string{"core", "gm", "l1d", "l2", "llc", "dram", "link"}
+
+// profileRank maps a private calendar rank to its attribution index.
+func profileRank(r int) int {
+	if r == rankLink {
+		return 6
+	}
+	return r
+}
+
+// linkEntry is one buffered request: at is the issue cycle on the
+// outbound path and the visibility cycle on the inbound path.
+type linkEntry struct {
+	at  mem.Cycle
+	req *mem.Request
+}
+
+// ownerSlot parks a request's original completion routing while the
+// shared domain owns it.
+type ownerSlot struct {
+	owner mem.Completer
+	tag   uint32
+	live  bool
+}
+
+// CoreLink is one core's bridge to the shared domain. The core side
+// (its L2 and the private advance loop) touches out-appends and
+// in-drains; the shared side (drain and completions) touches out-drains
+// and in-appends. The two sides run in alternating phases separated by
+// barriers, so no field needs a lock.
+type CoreLink struct {
+	lat    mem.Cycle
+	shared *SharedDomain // for the response-visibility stamp
+
+	now mem.Cycle // core-domain clock, stamped onto outbound requests
+
+	out     []linkEntry // issued by L2, awaiting the deterministic drain
+	outHead int
+	in      []linkEntry // completed by the shared domain, awaiting injection
+	inHead  int
+
+	slots     []ownerSlot
+	freeSlots []uint32
+}
+
+// Enqueue implements cache.Port for the core's L2: the interconnect
+// buffers without bound, so issue-side back-pressure is applied at
+// drain time (head-of-line, per core) instead of at the L2's forward
+// port. The request is stamped with the core-domain cycle it was
+// issued.
+func (l *CoreLink) Enqueue(r *mem.Request) bool {
+	l.out = append(l.out, linkEntry{at: l.now, req: r})
+	return true
+}
+
+// headAt peeks the oldest undrained outbound request's issue cycle.
+func (l *CoreLink) headAt() (mem.Cycle, bool) {
+	if l.outHead < len(l.out) {
+		return l.out[l.outHead].at, true
+	}
+	return 0, false
+}
+
+func (l *CoreLink) peekHead() *mem.Request { return l.out[l.outHead].req }
+
+func (l *CoreLink) popHead() *mem.Request {
+	r := l.out[l.outHead].req
+	l.out[l.outHead] = linkEntry{}
+	l.outHead++
+	if l.outHead == len(l.out) {
+		l.out = l.out[:0]
+		l.outHead = 0
+	}
+	return r
+}
+
+// swapOwner parks r's completion routing in a slot and points the
+// request at the link, so the shared domain's completion lands back
+// here instead of inside the (possibly still mid-epoch) core.
+func (l *CoreLink) swapOwner(r *mem.Request) {
+	if r.Owner == nil {
+		return // fire-and-forget traffic terminates in the shared domain
+	}
+	var s uint32
+	if n := len(l.freeSlots); n > 0 {
+		s = l.freeSlots[n-1]
+		l.freeSlots = l.freeSlots[:n-1]
+	} else {
+		l.slots = append(l.slots, ownerSlot{})
+		s = uint32(len(l.slots) - 1)
+	}
+	l.slots[s] = ownerSlot{owner: r.Owner, tag: r.OwnerTag, live: true}
+	r.Owner, r.OwnerTag = l, s
+}
+
+// unswapOwner undoes swapOwner after a rejected drain attempt.
+func (l *CoreLink) unswapOwner(r *mem.Request) {
+	if r.Owner != mem.Completer(l) {
+		return
+	}
+	s := r.OwnerTag
+	r.Owner, r.OwnerTag = l.slots[s].owner, l.slots[s].tag
+	l.slots[s] = ownerSlot{}
+	l.freeSlots = append(l.freeSlots, s)
+}
+
+// Complete implements mem.Completer for the shared side: the LLC or
+// DRAM finished r, so restore its original routing and schedule it for
+// injection into the core LinkLatency cycles from now. Visibility
+// cycles are nondecreasing (the shared clock only moves forward), so
+// the inbound buffer stays sorted by construction.
+func (l *CoreLink) Complete(r *mem.Request) {
+	s := r.OwnerTag
+	r.Owner, r.OwnerTag = l.slots[s].owner, l.slots[s].tag
+	l.slots[s] = ownerSlot{}
+	l.freeSlots = append(l.freeSlots, s)
+	l.in = append(l.in, linkEntry{at: l.shared.now + l.lat, req: r})
+}
+
+// NextInject reports the earliest future cycle an inbound response
+// becomes visible to the core, or mem.NoEvent.
+func (l *CoreLink) NextInject(now mem.Cycle) mem.Cycle {
+	if l.inHead < len(l.in) {
+		if at := l.in[l.inHead].at; at > now {
+			return at
+		}
+		return now + 1
+	}
+	return mem.NoEvent
+}
+
+// Inject delivers every inbound response visible at cycle now to its
+// original owner (the L2's Complete, which queues the fill and bumps
+// its wake counter).
+func (l *CoreLink) Inject(now mem.Cycle) {
+	for l.inHead < len(l.in) && l.in[l.inHead].at <= now {
+		r := l.in[l.inHead].req
+		l.in[l.inHead] = linkEntry{}
+		l.inHead++
+		r.Owner.Complete(r)
+	}
+	if l.inHead == len(l.in) {
+		l.in = l.in[:0]
+		l.inHead = 0
+	}
+}
+
+// StateDigest folds the link's architectural state — buffered requests
+// on both paths and the parked completion slots — so mid-flight bridge
+// state participates in the determinism digests.
+func (l *CoreLink) StateDigest() uint64 {
+	d := observatory.NewDigest().Word(uint64(l.lat))
+	d = d.Word(uint64(len(l.out) - l.outHead))
+	for _, e := range l.out[l.outHead:] {
+		d = d.Word(uint64(e.at))
+		d = observatory.DigestRequest(d, e.req)
+	}
+	d = d.Word(uint64(len(l.in) - l.inHead))
+	for _, e := range l.in[l.inHead:] {
+		d = d.Word(uint64(e.at))
+		d = observatory.DigestRequest(d, e.req)
+	}
+	for i, s := range l.slots {
+		if s.live {
+			d = d.Word(uint64(i)).Word(uint64(s.tag))
+		}
+	}
+	return d.Sum()
+}
+
+// Shared-domain calendar ranks.
+const (
+	sharedRankLLC = iota
+	sharedRankDRAM
+	numSharedRanks
+)
+
+// SharedDomain is the serial half of a sharded system: the shared LLC,
+// the DRAM channel, and the deterministic drain that merges the cores'
+// buffered requests. It only ever runs between core phases, on one
+// goroutine.
+type SharedDomain struct {
+	llc   *cache.Cache
+	dram  *dram.DRAM
+	links []*CoreLink
+	seed  uint64
+
+	// BlackHole, when >= 0, silently drops that core's outbound
+	// requests at drain time (wedge-injection test hook).
+	BlackHole int
+
+	now      mem.Cycle
+	evq      *event.Queue
+	primed   bool
+	lastWake [numSharedRanks]uint64
+	stall    []bool // per-core head-of-line stall, valid within one drain cycle
+
+	prof *observatory.Profile
+}
+
+// LLC exposes the shared cache (diagnostics and stats snapshots).
+func (s *SharedDomain) LLC() *cache.Cache { return s.llc }
+
+// Now returns the cycle the shared domain has completed.
+func (s *SharedDomain) Now() mem.Cycle { return s.now }
+
+// AttachProfile arms attribution profiling for the shared ranks.
+func (s *SharedDomain) AttachProfile(p *observatory.Profile) {
+	if p == nil {
+		return
+	}
+	p.EnsureRanks(ShardProfileRanks[:])
+	if p.EngineVersion == "" {
+		p.EngineVersion = EngineVersion
+	}
+	s.prof = p
+}
+
+// StateDigests appends the shared components' digests (LLC, DRAM).
+func (s *SharedDomain) StateDigests(dst []uint64) []uint64 {
+	return append(dst, s.llc.StateDigest(), s.dram.StateDigest())
+}
+
+// nextArrival reports the earliest cycle a buffered request wants to
+// enter the LLC: a head rejected at or before the current cycle retries
+// next cycle.
+func (s *SharedDomain) nextArrival() mem.Cycle {
+	next := mem.NoEvent
+	for _, l := range s.links {
+		if at, ok := l.headAt(); ok {
+			if at <= s.now {
+				return s.now + 1
+			}
+			if at < next {
+				next = at
+			}
+		}
+	}
+	return next
+}
+
+// drain moves every buffered request with issue cycle <= t into the
+// LLC, in the seeded deterministic merge order: strictly by issue
+// cycle, ties between cores broken by core index rotated by
+// (seed+cycle) mod cores. A request the LLC rejects (queue full) stalls
+// its core's FIFO for this cycle and retries on the next; other cores
+// keep draining. The order depends only on buffered state, never on
+// which goroutine produced it.
+func (s *SharedDomain) drain(t mem.Cycle) {
+	n := len(s.links)
+	for i := range s.stall {
+		s.stall[i] = false
+	}
+	for {
+		best, bestOrd := -1, 0
+		bestAt := mem.NoEvent
+		for i, l := range s.links {
+			if s.stall[i] {
+				continue
+			}
+			at, ok := l.headAt()
+			if !ok || at > t {
+				continue
+			}
+			rot := int((s.seed + uint64(at)) % uint64(n))
+			ord := (i - rot + n) % n
+			if at < bestAt || (at == bestAt && ord < bestOrd) {
+				best, bestAt, bestOrd = i, at, ord
+			}
+		}
+		if best < 0 {
+			return
+		}
+		l := s.links[best]
+		if best == s.BlackHole {
+			l.popHead() // dropped: never reaches the LLC, never completes
+			continue
+		}
+		r := l.peekHead()
+		l.swapOwner(r)
+		if !s.llc.Enqueue(r) {
+			l.unswapOwner(r)
+			s.stall[best] = true
+			continue
+		}
+		l.popHead()
+	}
+}
+
+// LockstepCycle advances the shared domain one cycle: arrivals first
+// (the L2-to-LLC hand-off happens before the LLC's tick, exactly as the
+// single-core rank order has it), then the LLC and the channel.
+func (s *SharedDomain) LockstepCycle(u mem.Cycle) {
+	s.now = u
+	s.drain(u)
+	s.llc.Tick(u)
+	s.dram.Tick(u)
+}
+
+// Advance runs the shared domain from its current cycle to exactly
+// `to`, event-driven: idle gaps are integrated with SkipIdle, visited
+// cycles drain arrivals and tick whichever of LLC/DRAM is due or was
+// poked. Bit-identical to calling LockstepCycle for every cycle.
+func (s *SharedDomain) Advance(to mem.Cycle) {
+	if s.now >= to {
+		return
+	}
+	// Prime once: between phases the cores only append to their links'
+	// outbound buffers (seen by nextArrival each iteration), never touch
+	// the LLC or DRAM, so the calendar from the previous phase is still
+	// exact.
+	if !s.primed {
+		s.evq.Schedule(sharedRankLLC, s.llc.NextEvent(s.now))
+		s.lastWake[sharedRankLLC] = s.llc.WakeCount()
+		s.evq.Schedule(sharedRankDRAM, s.dram.NextEvent(s.now))
+		s.lastWake[sharedRankDRAM] = s.dram.WakeCount()
+		s.primed = true
+	}
+
+	for s.now < to {
+		next := s.evq.Next()
+		if a := s.nextArrival(); a < next {
+			next = a
+		}
+		if next > to {
+			// Provably idle through the phase boundary: integrate and stop.
+			k := to - s.now
+			s.llc.SkipIdle(k)
+			s.dram.SkipIdle(k)
+			s.now = to
+			if s.prof != nil {
+				s.prof.Gap(uint64(k))
+			}
+			return
+		}
+		s.advanceSharedTo(next)
+	}
+}
+
+// advanceSharedTo skips the provably idle gap and processes cycle t.
+func (s *SharedDomain) advanceSharedTo(t mem.Cycle) {
+	if k := t - s.now - 1; k > 0 {
+		s.llc.SkipIdle(k)
+		s.dram.SkipIdle(k)
+		s.now += k
+		if s.prof != nil {
+			s.prof.Gap(uint64(k))
+		}
+	}
+	s.now = t
+	if s.prof != nil {
+		s.prof.Advance(false)
+	}
+	s.drain(t)
+
+	var ticked [numSharedRanks]bool
+	{
+		due := s.evq.At(sharedRankLLC) <= t
+		woke := s.llc.WakeCount() != s.lastWake[sharedRankLLC]
+		if due || woke {
+			s.llc.Tick(t)
+			ticked[sharedRankLLC] = true
+		} else {
+			s.llc.SkipIdle(1)
+		}
+		if s.prof != nil {
+			s.prof.Visit(rankLLC, ticked[sharedRankLLC], due, woke, false)
+		}
+	}
+	{
+		due := s.evq.At(sharedRankDRAM) <= t
+		woke := s.dram.WakeCount() != s.lastWake[sharedRankDRAM]
+		if due || woke {
+			s.dram.Tick(t)
+			ticked[sharedRankDRAM] = true
+		} else {
+			s.dram.SkipIdle(1)
+		}
+		if s.prof != nil {
+			s.prof.Visit(rankDRAM, ticked[sharedRankDRAM], due, woke, false)
+		}
+	}
+
+	if ticked[sharedRankLLC] || s.llc.WakeCount() != s.lastWake[sharedRankLLC] {
+		s.evq.Schedule(sharedRankLLC, s.llc.NextEvent(t))
+		s.lastWake[sharedRankLLC] = s.llc.WakeCount()
+		if s.prof != nil {
+			s.prof.Rearm(rankLLC, true)
+		}
+	} else if s.prof != nil {
+		s.prof.Rearm(rankLLC, false)
+	}
+	if ticked[sharedRankDRAM] || s.dram.WakeCount() != s.lastWake[sharedRankDRAM] {
+		s.evq.Schedule(sharedRankDRAM, s.dram.NextEvent(t))
+		s.lastWake[sharedRankDRAM] = s.dram.WakeCount()
+		if s.prof != nil {
+			s.prof.Rearm(rankDRAM, true)
+		}
+	} else if s.prof != nil {
+		s.prof.Rearm(rankDRAM, false)
+	}
+}
+
+// ShardedSystem is a built multi-core system: per-core private domains
+// behind links, around one shared LLC/DRAM domain.
+type ShardedSystem struct {
+	Cores  []*CoreSystem
+	Links  []*CoreLink
+	Shared *SharedDomain
+	// LinkLatency is the configured interconnect latency — the epoch-
+	// safety bound for barrier intervals.
+	LinkLatency mem.Cycle
+}
+
+// BuildSharded assembles a sharded multi-core system: each core gets
+// its own request pool (core phases run on separate goroutines), a
+// private GM/L1D/L2 stack forwarding into its CoreLink, and the shared
+// domain owns the LLC, the DRAM channel, and their pool. linkLat <= 0
+// selects DefaultLinkLatency; seed parameterizes the drain rotation.
+func BuildSharded(cfg Config, cores int, mix []trace.Source, linkLat mem.Cycle, seed uint64) (*ShardedSystem, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if linkLat <= 0 {
+		linkLat = DefaultLinkLatency
+	}
+	channel := dram.New(cfg.DRAM)
+	llc := cache.New(cache.LLCConfig(cores), channel)
+	sharedPool := &mem.RequestPool{}
+	channel.SetPool(sharedPool)
+	llc.SetPool(sharedPool)
+
+	shared := &SharedDomain{
+		llc:       llc,
+		dram:      channel,
+		seed:      seed,
+		BlackHole: -1,
+		evq:       event.New(numSharedRanks),
+		stall:     make([]bool, cores),
+	}
+
+	sys := &ShardedSystem{Shared: shared, LinkLatency: linkLat}
+	for i := 0; i < cores; i++ {
+		// Each core gets a disjoint address space, as separate processes
+		// would (1 TiB apart — far beyond any generator's regions). The
+		// trace replays without bound: cores that finish their measured
+		// budget keep running (and keep contending for the shared LLC
+		// and DRAM) until the slowest core finishes, as in ChampSim.
+		src := trace.Repeat(trace.Offset(mix[i], mem.Addr(i)<<40), 1<<62)
+		link := &CoreLink{lat: linkLat, shared: shared}
+		pool := &mem.RequestPool{}
+		m := &Machine{cfg: cfg, pool: pool}
+		m.mem = channel
+		m.llc = llc
+		m.link = link
+		m.l2 = cache.New(cfg.L2, link)
+		m.l1d = cache.New(cfg.L1D, m.l2)
+		var loadPort cpu.LoadPort = l1dLoadPort{m.l1d}
+		if cfg.Secure {
+			var filter ghostminion.Filter = ghostminion.FullUpdate{}
+			if cfg.SUF {
+				m.suf = new(seccore.SUF)
+				filter = m.suf
+			}
+			m.gm = ghostminion.New(cfg.GM, m.l1d, filter)
+			loadPort = m.gm
+		}
+		m.core = cpu.New(cfg.Core, src, loadPort, l1dStorePort{m.l1d})
+		if !cfg.DisableTLB {
+			m.tlbs = tlb.New(cfg.TLB)
+			m.core.TLB = m.tlbs
+		}
+		if err := m.buildPrefetcher(); err != nil {
+			return nil, err
+		}
+		m.core.SetPool(pool)
+		if m.gm != nil {
+			m.gm.SetPool(pool)
+		}
+		m.l1d.SetPool(pool)
+		m.l2.SetPool(pool)
+		m.wireCommit()
+		sys.Cores = append(sys.Cores, m)
+		shared.links = append(shared.links, link)
+	}
+	sys.Links = shared.links
+	return sys, nil
+}
+
+// StepCore advances this core's private domain one cycle: the core,
+// its GM, L1D, L2, and finally the link's response injection — the
+// lockstep reference order the event-driven advance reproduces.
+func (m *Machine) StepCore(u mem.Cycle) {
+	m.now = u
+	m.link.now = u
+	m.core.Tick(u)
+	if m.gm != nil {
+		m.gm.Tick(u)
+	}
+	m.l1d.Tick(u)
+	m.l2.Tick(u)
+	m.link.Inject(u)
+}
+
+// AttachShardProfile arms attribution profiling with the multicore rank
+// vocabulary (ShardProfileRanks).
+func (m *Machine) AttachShardProfile(p *observatory.Profile) {
+	if p == nil {
+		return
+	}
+	p.EnsureRanks(ShardProfileRanks[:])
+	if p.EngineVersion == "" {
+		p.EngineVersion = EngineVersion
+	}
+	m.prof = p
+}
+
+// PrivateDigests appends this core's private-component state digests in
+// PrivateComponentNames order (absent components digest to zero).
+func (m *Machine) PrivateDigests(dst []uint64) []uint64 {
+	var comps [NumPrivateComponents]uint64
+	comps[0] = m.core.StateDigest()
+	if m.gm != nil {
+		comps[1] = m.gm.StateDigest()
+	}
+	comps[2] = m.l1d.StateDigest()
+	comps[3] = m.l2.StateDigest()
+	if m.tlbs != nil {
+		comps[4] = m.tlbs.StateDigest()
+	}
+	if m.bertiPF != nil {
+		comps[5] = m.bertiPF.StateDigest()
+	}
+	comps[6] = m.link.StateDigest()
+	return append(dst, comps[:]...)
+}
+
+// primePrivate (re)builds the private calendar: core, GM, L1D, L2 at
+// their own NextEvent, the link at its next response visibility. The
+// DRAM rank is cancelled — the shared domain is not this machine's to
+// schedule.
+func (m *Machine) primePrivate() {
+	if m.evq == nil {
+		m.evq = event.New(numRanks)
+	}
+	m.evq.Schedule(rankCore, m.core.NextEvent(m.now))
+	m.lastWake[rankCore] = m.core.WakeCount()
+	if m.gm != nil {
+		m.evq.Schedule(rankGM, m.gm.NextEvent(m.now))
+		m.lastWake[rankGM] = m.gm.WakeCount()
+		m.lastGMVer = m.gm.StateVersion()
+	}
+	m.evq.Schedule(rankL1D, m.l1d.NextEvent(m.now))
+	m.lastWake[rankL1D] = m.l1d.WakeCount()
+	m.evq.Schedule(rankL2, m.l2.NextEvent(m.now))
+	m.lastWake[rankL2] = m.l2.WakeCount()
+	m.evq.Schedule(rankLink, m.link.NextInject(m.now))
+	m.evq.Cancel(rankDRAM)
+}
+
+// AdvanceCore advances the private domain to exactly cycle `to`. When
+// target > 0 the advance pauses at the first cycle the retired
+// instruction count reaches target (the multicore engine's stop
+// staging: the barrier computes the global stop cycle from the pause
+// cycles, then resumes). Returns the cycle reached and whether the
+// target was hit. Uses the lockstep reference when the machine's
+// reference engine is selected.
+func (m *Machine) AdvanceCore(to mem.Cycle, target uint64) (mem.Cycle, bool) {
+	if target > 0 && m.core.Stats.Instructions >= target {
+		return m.now, true
+	}
+	if m.noSkip {
+		for m.now < to {
+			m.StepCore(m.now + 1)
+			if target > 0 && m.core.Stats.Instructions >= target {
+				return m.now, true
+			}
+		}
+		return m.now, false
+	}
+	// Prime once; on later epochs only the link rank can have gained an
+	// event from outside (responses completed by the shared domain
+	// between core phases) — every other rank's schedule is still exact
+	// because nothing but this goroutine touches those components.
+	if !m.shardPrimed {
+		m.primePrivate()
+		m.shardPrimed = true
+	} else {
+		m.evq.Schedule(rankLink, m.link.NextInject(m.now))
+	}
+	for m.now < to {
+		next := m.evq.Next()
+		clamped := false
+		if next > to {
+			next, clamped = to, true
+		}
+		m.advancePrivateTo(next)
+		if m.prof != nil {
+			m.prof.Advance(clamped)
+		}
+		if target > 0 && m.core.Stats.Instructions >= target {
+			return m.now, true
+		}
+	}
+	return m.now, false
+}
+
+// advancePrivateTo is advanceTo for the private ranks: gap-skip the
+// provably idle stretch, then process cycle t in rank order — core, GM,
+// L1D, L2, link injection — with the same due/woke/version tick
+// conditions and conditional re-arms as the single-core engine.
+func (m *Machine) advancePrivateTo(t mem.Cycle) {
+	if k := t - m.now - 1; k > 0 {
+		m.core.SkipIdle(m.now, k)
+		if m.gm != nil {
+			m.gm.SkipIdle(k)
+		}
+		m.l1d.SkipIdle(k)
+		m.l2.SkipIdle(k)
+		m.now += k
+		if m.prof != nil {
+			m.prof.Gap(uint64(k))
+		}
+	}
+	m.now = t
+	m.link.now = t
+	var ticked [numRanks]bool
+
+	{
+		due := m.evq.At(rankCore) <= t
+		woke := m.core.WakeCount() != m.lastWake[rankCore]
+		ver := m.gm != nil && m.gm.StateVersion() != m.lastGMVer
+		if due || woke || ver {
+			m.core.Tick(t)
+			ticked[rankCore] = true
+		} else {
+			m.core.SkipIdle(t-1, 1)
+		}
+		if m.prof != nil {
+			m.prof.Visit(rankCore, ticked[rankCore], due, woke, ver)
+		}
+	}
+	if m.gm != nil {
+		due := m.evq.At(rankGM) <= t
+		woke := m.gm.WakeCount() != m.lastWake[rankGM]
+		if due || woke {
+			m.gm.Tick(t)
+			ticked[rankGM] = true
+		} else {
+			m.gm.SkipIdle(1)
+		}
+		if m.prof != nil {
+			m.prof.Visit(rankGM, ticked[rankGM], due, woke, false)
+		}
+	}
+	caches := [...]*cache.Cache{m.l1d, m.l2}
+	for i, c := range caches {
+		r := rankL1D + i
+		due := m.evq.At(r) <= t
+		woke := c.WakeCount() != m.lastWake[r]
+		if due || woke {
+			c.Tick(t)
+			ticked[r] = true
+		} else {
+			c.SkipIdle(1)
+		}
+		if m.prof != nil {
+			m.prof.Visit(r, ticked[r], due, woke, false)
+		}
+	}
+	{
+		due := m.evq.At(rankLink) <= t
+		if due {
+			m.link.Inject(t)
+			ticked[rankLink] = true
+		}
+		if m.prof != nil {
+			m.prof.Visit(profileRank(rankLink), ticked[rankLink], due, false, false)
+		}
+	}
+
+	// Conditional re-arms, as in advanceTo: a rank that ticked or was
+	// poked this cycle gets a fresh schedule.
+	if ticked[rankCore] || m.core.WakeCount() != m.lastWake[rankCore] ||
+		(m.gm != nil && m.gm.StateVersion() != m.lastGMVer) {
+		m.evq.Schedule(rankCore, m.core.NextEvent(t))
+		m.lastWake[rankCore] = m.core.WakeCount()
+		if m.gm != nil {
+			m.lastGMVer = m.gm.StateVersion()
+		}
+		if m.prof != nil {
+			m.prof.Rearm(rankCore, true)
+		}
+	} else if m.prof != nil {
+		m.prof.Rearm(rankCore, false)
+	}
+	if m.gm != nil {
+		if ticked[rankGM] || m.gm.WakeCount() != m.lastWake[rankGM] {
+			m.evq.Schedule(rankGM, m.gm.NextEvent(t))
+			m.lastWake[rankGM] = m.gm.WakeCount()
+			if m.prof != nil {
+				m.prof.Rearm(rankGM, true)
+			}
+		} else if m.prof != nil {
+			m.prof.Rearm(rankGM, false)
+		}
+	}
+	for i, c := range caches {
+		r := rankL1D + i
+		if ticked[r] || c.WakeCount() != m.lastWake[r] {
+			m.evq.Schedule(r, c.NextEvent(t))
+			m.lastWake[r] = c.WakeCount()
+			if m.prof != nil {
+				m.prof.Rearm(r, true)
+			}
+		} else if m.prof != nil {
+			m.prof.Rearm(r, false)
+		}
+	}
+	m.evq.Schedule(rankLink, m.link.NextInject(t))
+	if m.prof != nil {
+		m.prof.Rearm(profileRank(rankLink), ticked[rankLink])
+	}
+}

@@ -1,98 +1,21 @@
 package sim
 
 import (
-	"secpref/internal/cache"
-	seccore "secpref/internal/core"
-	"secpref/internal/cpu"
-	"secpref/internal/dram"
-	"secpref/internal/ghostminion"
 	"secpref/internal/mem"
-	"secpref/internal/tlb"
-	"secpref/internal/trace"
 )
 
 // CoreSystem is one core's private slice of a multi-core system: the
-// core, its GM (if secure), private L1D and L2, and the prefetcher
-// harness — everything except the shared LLC and DRAM.
+// core, its GM (if secure), private L1D and L2, the prefetcher harness,
+// and the link into the shared domain — everything except the shared
+// LLC and DRAM. Built by BuildSharded.
 type CoreSystem = Machine
-
-// BuildShared assembles cores private systems around one shared LLC
-// bank group and one DRAM channel, per the paper's Table II multi-core
-// organization. The returned tick function advances the DRAM channel.
-func BuildShared(cfg Config, cores int, mix []trace.Source) ([]*CoreSystem, *cache.Cache, func(mem.Cycle), error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, nil, nil, err
-	}
-	channel := dram.New(cfg.DRAM)
-	llcCfg := cache.LLCConfig(cores)
-	llc := cache.New(llcCfg, channel)
-	// All cores and the shared levels are stepped by one goroutine, so
-	// one request pool serves the whole system (requests cross levels).
-	pool := &mem.RequestPool{}
-	channel.SetPool(pool)
-	llc.SetPool(pool)
-
-	machines := make([]*CoreSystem, 0, cores)
-	for i := 0; i < cores; i++ {
-		// Each core gets a disjoint address space, as separate processes
-		// would (1 TiB apart — far beyond any generator's regions). The
-		// trace replays without bound: cores that finish their measured
-		// budget keep running (and keep contending for the shared LLC
-		// and DRAM) until the slowest core finishes, as in ChampSim.
-		src := trace.Repeat(trace.Offset(mix[i], mem.Addr(i)<<40), 1<<62)
-		m := &Machine{cfg: cfg, pool: pool}
-		m.mem = channel
-		m.llc = llc
-		m.l2 = cache.New(cfg.L2, llc)
-		m.l1d = cache.New(cfg.L1D, m.l2)
-		var loadPort cpu.LoadPort = l1dLoadPort{m.l1d}
-		if cfg.Secure {
-			var filter ghostminion.Filter = ghostminion.FullUpdate{}
-			if cfg.SUF {
-				m.suf = new(seccore.SUF)
-				filter = m.suf
-			}
-			m.gm = ghostminion.New(cfg.GM, m.l1d, filter)
-			loadPort = m.gm
-		}
-		m.core = cpu.New(cfg.Core, src, loadPort, l1dStorePort{m.l1d})
-		if !cfg.DisableTLB {
-			m.tlbs = tlb.New(cfg.TLB)
-			m.core.TLB = m.tlbs
-		}
-		if err := m.buildPrefetcher(); err != nil {
-			return nil, nil, nil, err
-		}
-		m.core.SetPool(pool)
-		if m.gm != nil {
-			m.gm.SetPool(pool)
-		}
-		m.l1d.SetPool(pool)
-		m.l2.SetPool(pool)
-		m.wireCommit()
-		machines = append(machines, m)
-	}
-	return machines, llc, channel.Tick, nil
-}
-
-// TickCore advances this core's private components one cycle (the
-// caller ticks the shared LLC and DRAM once per cycle).
-func (m *Machine) TickCore(now mem.Cycle) {
-	m.now = now
-	m.core.Tick(now)
-	if m.gm != nil {
-		m.gm.Tick(now)
-	}
-	m.l1d.Tick(now)
-	m.l2.Tick(now)
-}
 
 // Instructions returns the retired instruction count.
 func (m *Machine) Instructions() uint64 { return m.core.Stats.Instructions }
 
-// ResetStats zeroes this core's private counters (shared-LLC variant
-// leaves the shared structures to the caller; the single-core variant
-// resets everything).
+// ResetStats zeroes this core's counters at the warmup boundary. On a
+// sharded system the shared LLC/DRAM stats are zeroed too; calling it
+// once per core at the same barrier is idempotent for those.
 func (m *Machine) ResetStats() { m.resetStats() }
 
 // Snapshot assembles the result over the measured window.

@@ -56,6 +56,12 @@ type Machine struct {
 	llc  *cache.Cache
 	mem  *dram.DRAM
 	tlbs *tlb.Hierarchy
+	// link bridges this core's L2 to a shared LLC/DRAM domain in
+	// sharded multi-core builds (BuildSharded); nil on single-core
+	// machines. shardPrimed tracks whether AdvanceCore has built the
+	// private calendar (it stays exact across epochs).
+	link        *CoreLink
+	shardPrimed bool
 
 	pf         prefetch.Prefetcher
 	bertiPF    *berti.Prefetcher
@@ -693,6 +699,10 @@ func Run(cfg Config, src trace.Source) (*Result, error) {
 // wedgeWindow is how many cycles without a retirement the run loop
 // tolerates before declaring the simulation wedged.
 const wedgeWindow = 500_000
+
+// WedgeWindow exposes the wedge-detection window to the multicore
+// engine, whose per-core progress checks use the same threshold.
+const WedgeWindow mem.Cycle = wedgeWindow
 
 // runUntil advances the machine until the core has retired n more
 // instructions (or the trace ends), failing on wedge or cycle budget
