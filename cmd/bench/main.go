@@ -18,6 +18,14 @@
 //	                          # slower than the median of the last 5
 //	bench -cpuprofile cpu.out # also write a CPU profile of the runs
 //	bench -memprofile mem.out # also write an allocation profile
+//	bench -simprofile PATH    # also write the engine-attribution
+//	                          # sim-profile table (PATH.json, PATH.csv)
+//	                          # and fail if any single rank holds more
+//	                          # than -max-tick-share of engine ticks
+//
+// -check additionally enforces allocs/op against the baseline record
+// (-alloc-tol percent headroom): single-core against the "after"
+// section, -multicore against both the lockstep and parallel records.
 package main
 
 import (
@@ -189,11 +197,9 @@ func measureMulticore(runs int) (lockstep, parallel Measurement, speedup float64
 	return lockstep, parallel, lockstep.NsPerOp / parallel.NsPerOp, digest, nil
 }
 
-func measureOnce(probed bool) (Measurement, uint64, error) {
-	tr, err := workload.Get("602.gcc-1850B", workload.Params{Instrs: 50_000, Seed: 1})
-	if err != nil {
-		return Measurement{}, 0, err
-	}
+// benchConfig is the single-core scenario configuration shared by the
+// timed runs and the attribution-profiled run.
+func benchConfig() sim.Config {
 	cfg := sim.DefaultConfig()
 	cfg.WarmupInstrs = 0
 	cfg.MaxInstrs = 50_000
@@ -201,6 +207,15 @@ func measureOnce(probed bool) (Measurement, uint64, error) {
 	cfg.SUF = true
 	cfg.Prefetcher = "berti"
 	cfg.Mode = sim.ModeTimelySecure
+	return cfg
+}
+
+func measureOnce(probed bool) (Measurement, uint64, error) {
+	tr, err := workload.Get("602.gcc-1850B", workload.Params{Instrs: 50_000, Seed: 1})
+	if err != nil {
+		return Measurement{}, 0, err
+	}
+	cfg := benchConfig()
 
 	var probes sim.Probes
 	if probed {
@@ -252,6 +267,57 @@ func median(xs []float64) float64 {
 	} else {
 		return (s[n/2-1] + s[n/2]) / 2
 	}
+}
+
+// profiledRun repeats the single-core scenario once with engine
+// attribution profiling armed (the timed runs stay unprofiled — the
+// per-rank counters are not free) and returns the profile.
+func profiledRun() (*observatory.Profile, error) {
+	tr, err := workload.Get("602.gcc-1850B", workload.Params{Instrs: 50_000, Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+	p := observatory.NewProfile()
+	if _, err := sim.RunProbed(benchConfig(), trace.NewSource(tr), sim.Probes{Profile: p}); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// writeProfileTable exports the sim-profile table as base.json and
+// base.csv, mirroring cmd/experiments -simprofile.
+func writeProfileTable(p *observatory.Profile, base string) error {
+	jf, err := os.Create(base + ".json")
+	if err != nil {
+		return err
+	}
+	defer jf.Close()
+	if err := p.WriteJSON(jf); err != nil {
+		return err
+	}
+	cf, err := os.Create(base + ".csv")
+	if err != nil {
+		return err
+	}
+	defer cf.Close()
+	return p.WriteCSV(cf)
+}
+
+// allocGate compares a measured allocation count against its recorded
+// baseline. The measurements keep the minimum across runs and MemStats
+// noise only ever inflates the count, so the gate can be much tighter
+// than the timing tolerance: tolPct relative headroom plus a small
+// absolute slack for background runtime allocations.
+func allocGate(what string, got, want, tolPct float64) error {
+	if want <= 0 {
+		return nil // baseline predates alloc recording
+	}
+	const slack = 64
+	if limit := want*(1+tolPct/100) + slack; got > limit {
+		return fmt.Errorf("%s allocation regression: %.0f allocs/op exceeds baseline %.0f (limit %.0f = +%.0f%% +%d)",
+			what, got, want, limit, tolPct, slack)
+	}
+	return nil
 }
 
 // clampOverhead turns the per-pair overhead deltas into a headline
@@ -435,7 +501,14 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write an allocation profile (after the runs) to this file")
 	mcMode := flag.Bool("multicore", false, "measure the 4-core engine (parallel vs serial lockstep) instead of the single-core scenario")
 	minSpeedup := flag.Float64("min-speedup", 0, "with -multicore: fail unless the parallel engine beats lockstep by this factor")
+	allocTol := flag.Float64("alloc-tol", 50, "allowed allocs/op growth vs baseline in -check mode, percent (plus a fixed 64-alloc slack)")
+	simProfile := flag.String("simprofile", "", "write the single-core sim-profile table as PATH.json and PATH.csv and gate on -max-tick-share")
+	maxTickShare := flag.Float64("max-tick-share", 0.40, "with -simprofile: fail if any single rank holds more than this fraction of engine ticks")
 	flag.Parse()
+	if *simProfile != "" && *mcMode {
+		fmt.Fprintln(os.Stderr, "bench: -simprofile applies to the single-core scenario; drop -multicore")
+		os.Exit(2)
+	}
 	if *runs < 1 {
 		fmt.Fprintln(os.Stderr, "bench: -runs must be at least 1")
 		os.Exit(2)
@@ -476,6 +549,30 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bench: parallel engine speedup %.2fx below required %.2fx (lockstep %.1f ms/op, parallel %.1f ms/op)\n",
 			speedup, *minSpeedup, lockstep.NsPerOp/1e6, m.NsPerOp/1e6)
 		os.Exit(1)
+	}
+
+	if *simProfile != "" {
+		// One extra attribution-profiled run (outside the timed pairs):
+		// export the per-rank table and refuse a profile where any single
+		// component re-dominates — the flat profile is a maintained
+		// property, not an accident.
+		prof, err := profiledRun()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		if err := writeProfileTable(prof, *simProfile); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("sim-profile table in %s.json and %s.csv\n", *simProfile, *simProfile)
+		for _, row := range prof.Table() {
+			if row.TickShare > *maxTickShare {
+				fmt.Fprintf(os.Stderr, "bench: rank %q holds %.1f%% of engine ticks (max %.0f%%) — one component re-dominates the profile\n",
+					row.Rank, 100*row.TickShare, 100**maxTickShare)
+				os.Exit(1)
+			}
+		}
 	}
 
 	if *memprofile != "" {
@@ -549,9 +646,27 @@ func main() {
 			slowdown := (m.NsPerOp/b.Multicore.Parallel.NsPerOp - 1) * 100
 			fmt.Printf("multicore: %.1f ms/op (%.0f instrs/s, %.2fx vs lockstep); baseline: %.1f ms/op; slowdown %.1f%% (tolerance %.0f%%)\n",
 				m.NsPerOp/1e6, m.InstrsPerSec, speedup, b.Multicore.Parallel.NsPerOp/1e6, slowdown, *tol)
+			fmt.Printf("multicore allocs/op: lockstep %.0f (baseline %.0f), parallel %.0f (baseline %.0f), alloc tolerance %.0f%%\n",
+				lockstep.AllocsPerOp, b.Multicore.Lockstep.AllocsPerOp,
+				m.AllocsPerOp, b.Multicore.Parallel.AllocsPerOp, *allocTol)
 			if slowdown > *tol {
 				fmt.Fprintln(os.Stderr, "bench: performance regression beyond tolerance")
 				os.Exit(1)
+			}
+			// Both engine flavors' allocation counts are enforced the same
+			// way the single-core figure is: the hot paths are supposed to
+			// be allocation-free, so growth here is a leak, not noise.
+			for _, g := range []struct {
+				what      string
+				got, want float64
+			}{
+				{"multicore lockstep", lockstep.AllocsPerOp, b.Multicore.Lockstep.AllocsPerOp},
+				{"multicore parallel", m.AllocsPerOp, b.Multicore.Parallel.AllocsPerOp},
+			} {
+				if err := allocGate(g.what, g.got, g.want, *allocTol); err != nil {
+					fmt.Fprintln(os.Stderr, "bench:", err)
+					os.Exit(1)
+				}
 			}
 			break
 		}
@@ -567,6 +682,10 @@ func main() {
 		}
 		if fail {
 			fmt.Fprintln(os.Stderr, "bench: performance regression beyond tolerance")
+			os.Exit(1)
+		}
+		if err := allocGate("single-core", m.AllocsPerOp, b.After.AllocsPerOp, *allocTol); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(1)
 		}
 	default:

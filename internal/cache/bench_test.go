@@ -1,0 +1,50 @@
+package cache
+
+import (
+	"testing"
+
+	"secpref/internal/mem"
+)
+
+// BenchmarkComponentCacheLookupHit measures the steady-state hit path:
+// one pooled load enqueued per op against a resident line, drained over
+// four ticks (queue pop, set-signature check, tag match, wheel-delayed
+// completion).
+func BenchmarkComponentCacheLookupHit(b *testing.B) {
+	c := New(tinyConfig(), &mockNext{})
+	line := lineInSet(0, 0)
+	c.Enqueue(loadReq(line, nil))
+	now := runTicks(c, 0, 10)
+	if !c.Contains(line) {
+		b.Fatal("warm line not installed")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := c.Pool().Get()
+		r.Line, r.IP, r.Kind = line, 0x400, mem.KindLoad
+		if !c.Enqueue(r) {
+			b.Fatal("steady-state enqueue rejected")
+		}
+		now = runTicks(c, now, 4)
+	}
+}
+
+// BenchmarkComponentCacheFill measures the miss/fill path: every op
+// touches a fresh line (working set far larger than the 1 KiB cache),
+// so each load takes the signature fast-miss exit, allocates an MSHR,
+// and runs the fill/evict machinery when the stub responds.
+func BenchmarkComponentCacheFill(b *testing.B) {
+	c := New(tinyConfig(), &mockNext{})
+	now := runTicks(c, 0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := c.Pool().Get()
+		r.Line, r.IP, r.Kind = mem.Line(i), 0x400, mem.KindLoad
+		if !c.Enqueue(r) {
+			b.Fatal("miss enqueue rejected")
+		}
+		now = runTicks(c, now, 10)
+	}
+}

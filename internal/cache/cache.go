@@ -17,6 +17,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"secpref/internal/mem"
 	"secpref/internal/probe"
@@ -88,6 +89,11 @@ const (
 	linePropagate
 )
 
+// The unsigned % (or mask) indexing over this table is a shift-and-
+// mask only while the size stays a power of two; this compile-time
+// assert (negative array length otherwise) pins that.
+type _ [1 - 2*(wheelSize&(wheelSize-1))]byte
+
 type lineMeta struct {
 	lru   uint32
 	flags uint8
@@ -144,6 +150,25 @@ type Cache struct {
 	// see mshrEntry.
 	mshrLine []mem.Line
 	inUse    int
+
+	// setSig holds one 64-bit presence signature per set (the
+	// GhostMinion fast-miss scheme): bit hash(tag) is set for every
+	// resident line, so a lookup whose bit is clear is a certain miss
+	// and skips the way scan. Maintained exactly — set on install,
+	// recomputed for the set on eviction — so there are no stale
+	// positives either. sigShift is log2(sets): the tag starts there.
+	setSig   []uint64
+	sigShift uint
+
+	// mshrSig is the same scheme over the in-flight MSHR lines; it may
+	// go stale (bits of completed entries linger) but never misses a
+	// live line, so a clear bit safely skips the merge scan. Rebuilt
+	// from mshrLine after mshrRebuildAfter completions. mshrFree is the
+	// free-slot bitmask; allocation takes the lowest set bit, which is
+	// the same slot the linear first-free scan chose.
+	mshrSig   uint64
+	mshrStale int
+	mshrFree  []uint64
 
 	rq, wq, pq  ring.Buf[*mem.Request]
 	fwdq        ring.Buf[*mem.Request]
@@ -213,6 +238,14 @@ func New(cfg Config, next Port) *Cache {
 	for i := range c.mshrLine {
 		c.mshrLine[i] = invalidTag
 	}
+	sigWords := (cfg.MSHRs + 63) / 64
+	sigBuf := make([]uint64, nsets+sigWords)
+	c.setSig = sigBuf[:nsets:nsets]
+	c.sigShift = uint(bits.TrailingZeros64(uint64(nsets)))
+	c.mshrFree = sigBuf[nsets:]
+	for i := 0; i < cfg.MSHRs; i++ {
+		c.mshrFree[i>>6] |= 1 << uint(i&63)
+	}
 	// Pre-slice wheel slots and MSHR waiter lists out of single backing
 	// arrays: both grow from nil on first use otherwise, which costs
 	// hundreds of small allocations per simulation. A slot or list that
@@ -250,9 +283,33 @@ func (c *Cache) setBase(l mem.Line) int {
 	return int(uint64(l)&c.setMask) * c.ways
 }
 
+// sigBit maps a line's tag portion to its presence-signature bit.
+func (c *Cache) sigBit(l mem.Line) uint64 {
+	return 1 << ((uint64(l) >> c.sigShift) & 63)
+}
+
+// mshrSigBit maps a line to its MSHR-signature bit.
+func mshrSigBit(l mem.Line) uint64 { return 1 << (uint64(l) & 63) }
+
+// rebuildSetSig recomputes the exact signature of one set.
+func (c *Cache) rebuildSetSig(set uint64) {
+	base := int(set) * c.ways
+	var sig uint64
+	for _, t := range c.tags[base : base+c.ways] {
+		if t != invalidTag {
+			sig |= c.sigBit(t)
+		}
+	}
+	c.setSig[set] = sig
+}
+
 // lookup finds the flat way index holding l, or -1.
 func (c *Cache) lookup(l mem.Line) int {
-	base := c.setBase(l)
+	set := uint64(l) & c.setMask
+	if c.setSig[set]&c.sigBit(l) == 0 {
+		return -1 // certain miss: no resident tag hashes to this bit
+	}
+	base := int(set) * c.ways
 	tags := c.tags[base : base+c.ways]
 	for i := range tags {
 		if tags[i] == l {
@@ -351,7 +408,7 @@ func (c *Cache) MSHRFree() int { return c.cfg.MSHRs - c.inUse }
 // respond schedules r's completion after the hit latency.
 func (c *Cache) respond(r *mem.Request, servedBy mem.Level) {
 	r.ServedBy = servedBy
-	slot := (uint64(c.now) + uint64(c.cfg.Latency)) % wheelSize
+	slot := (uint64(c.now) + uint64(c.cfg.Latency)) & (wheelSize - 1)
 	c.wheel[slot] = append(c.wheel[slot], r)
 	c.wheelCount++
 }
@@ -362,7 +419,7 @@ func (c *Cache) Tick(now mem.Cycle) {
 
 	// 1. Deliver responses whose latency elapsed. Ownerless requests
 	// (fire-and-forget traffic) terminate here and are recycled.
-	slot := uint64(now) % wheelSize
+	slot := uint64(now) & (wheelSize - 1)
 	if rs := c.wheel[slot]; len(rs) > 0 {
 		c.wheelCount -= len(rs)
 		for i, r := range rs {
@@ -462,7 +519,7 @@ func (c *Cache) NextEvent(now mem.Cycle) mem.Cycle {
 	}
 	if c.wheelCount > 0 {
 		for d := uint64(1); d <= wheelSize; d++ {
-			if len(c.wheel[(uint64(now)+d)%wheelSize]) > 0 {
+			if len(c.wheel[(uint64(now)+d)&(wheelSize-1)]) > 0 {
 				return now + mem.Cycle(d)
 			}
 		}
@@ -560,12 +617,13 @@ func (c *Cache) handleSpec(r *mem.Request) bool {
 	}
 	// Merge with an in-flight fetch of the same line (the shared,
 	// timestamp-ordered MSHR of GhostMinion). Merging with an in-flight
-	// prefetch is the secure system's "late prefetch" event.
-	for i, l := range c.mshrLine {
-		if l != r.Line {
-			continue
-		}
-		{
+	// prefetch is the secure system's "late prefetch" event. A clear
+	// signature bit (or an empty MSHR) proves no merge candidate.
+	if c.inUse > 0 && c.mshrSig&mshrSigBit(r.Line) != 0 {
+		for i, l := range c.mshrLine {
+			if l != r.Line {
+				continue
+			}
 			e := &c.mshr[i]
 			if e.kind == mem.KindPrefetch {
 				r.MergedPrefetch = true
@@ -724,12 +782,13 @@ func (c *Cache) handlePrefetch(r *mem.Request) bool {
 // missTo allocates an MSHR for a demand-class miss and forwards below.
 // Returns false (retry) when the MSHR is full.
 func (c *Cache) missTo(r *mem.Request, kind mem.Kind) bool {
-	// Merge with an in-flight entry if present.
-	for i, l := range c.mshrLine {
-		if l != r.Line {
-			continue
-		}
-		{
+	// Merge with an in-flight entry if present; skip the scan when the
+	// MSHR is empty or the signature proves the line is not in flight.
+	if c.inUse > 0 && c.mshrSig&mshrSigBit(r.Line) != 0 {
+		for i, l := range c.mshrLine {
+			if l != r.Line {
+				continue
+			}
 			e := &c.mshr[i]
 			if e.kind == mem.KindPrefetch && kind.IsDemand() {
 				// Late prefetch: demand promotes the in-flight prefetch.
@@ -768,11 +827,11 @@ func (c *Cache) missTo(r *mem.Request, kind mem.Kind) bool {
 // missToPrefetch allocates an MSHR for a prefetch miss; returns false
 // if none is free (caller drops the prefetch).
 func (c *Cache) missToPrefetch(r *mem.Request) bool {
-	for i, l := range c.mshrLine {
-		if l != r.Line {
-			continue
-		}
-		{
+	if c.inUse > 0 && c.mshrSig&mshrSigBit(r.Line) != 0 {
+		for i, l := range c.mshrLine {
+			if l != r.Line {
+				continue
+			}
 			e := &c.mshr[i]
 			// Already being fetched. A waiting child rides along; a
 			// local prefetch needs nothing — unless the entry is a
@@ -801,19 +860,28 @@ func (c *Cache) missToPrefetch(r *mem.Request) bool {
 	return true
 }
 
-// allocMSHR reserves a free MSHR slot, returning its index or -1.
+// allocMSHR reserves a free MSHR slot, returning its index or -1. The
+// lowest set bit of the free mask is the same slot the linear
+// first-free scan over mshrLine would choose.
 func (c *Cache) allocMSHR() int {
-	for i, l := range c.mshrLine {
-		if l == invalidTag {
+	for wi, word := range c.mshrFree {
+		if word != 0 {
+			b := bits.TrailingZeros64(word)
+			c.mshrFree[wi] = word &^ (1 << uint(b))
 			c.inUse++
-			return i
+			return wi<<6 + b
 		}
 	}
 	return -1
 }
 
+// mshrRebuildAfter bounds MSHR-signature staleness: after this many
+// completions the signature is recomputed from the live lines.
+const mshrRebuildAfter = 8
+
 func (c *Cache) initMSHR(idx int, r *mem.Request, kind mem.Kind, fillLevel mem.Level) {
 	c.mshrLine[idx] = r.Line
+	c.mshrSig |= mshrSigBit(r.Line)
 	e := &c.mshr[idx]
 	*e = mshrEntry{
 		valid:     true,
@@ -850,7 +918,7 @@ func (c *Cache) initMSHR(idx int, r *mem.Request, kind mem.Kind, fillLevel mem.L
 		// scheduling the child itself on the wheel; delivery routes it to
 		// the fill queue through the normal Owner path.
 		const testPenalty = 50
-		slot := (uint64(c.now) + testPenalty) % wheelSize
+		slot := (uint64(c.now) + testPenalty) & (wheelSize - 1)
 		child.ServedBy = c.cfg.Level + 1
 		c.wheel[slot] = append(c.wheel[slot], child)
 		c.wheelCount++
@@ -879,14 +947,10 @@ func (c *Cache) applyFill(fr *fillRecord) bool {
 		return true
 	}
 	base := c.setBase(fr.req.Line)
-	way := -1
+	// Refill of a present line (races are benign); the signature-guided
+	// lookup skips the scan when the line cannot be resident.
+	way := c.lookup(fr.req.Line)
 	tags := c.tags[base : base+c.ways]
-	for i := range tags {
-		if tags[i] == fr.req.Line {
-			way = base + i // refill of a present line (races are benign)
-			break
-		}
-	}
 	if way < 0 {
 		for i := range tags {
 			if tags[i] == invalidTag {
@@ -907,6 +971,7 @@ func (c *Cache) applyFill(fr *fillRecord) bool {
 		lat = c.now - fr.entry.alloc
 	}
 	c.tags[way] = fr.req.Line
+	c.setSig[uint64(fr.req.Line)&c.setMask] |= c.sigBit(fr.req.Line)
 	m := &c.meta[way]
 	*m = lineMeta{
 		fetchLat: lat,
@@ -1002,6 +1067,7 @@ func (c *Cache) evict(w int) bool {
 		})
 	}
 	c.tags[w] = invalidTag
+	c.rebuildSetSig(uint64(line) & c.setMask)
 	return true
 }
 
@@ -1040,9 +1106,20 @@ func (c *Cache) completeMSHR(e *mshrEntry, child *mem.Request) {
 	}
 	e.valid = false
 	c.mshrLine[e.slot] = invalidTag
+	c.mshrFree[e.slot>>6] |= 1 << uint(e.slot&63)
 	e.child = nil
 	e.waiters = e.waiters[:0]
 	c.inUse--
+	if c.mshrStale++; c.mshrStale >= mshrRebuildAfter {
+		c.mshrStale = 0
+		var sig uint64
+		for _, l := range c.mshrLine {
+			if l != invalidTag {
+				sig |= mshrSigBit(l)
+			}
+		}
+		c.mshrSig = sig
+	}
 }
 
 // notifyAccess invokes the training hook for demand accesses; w < 0

@@ -170,11 +170,23 @@ type Core struct {
 	seq        uint64
 	stallUntil mem.Cycle
 	srcDone    bool
-	lastLoad   int          // ROB ring index of most recent dispatched load, -1 if none
-	staged     *trace.Instr // instruction held back by a full LQ
-	// pendLoads lists ROB ring indices of dispatched-but-unissued loads
-	// in program order (issue scans a bounded window of it).
-	pendLoads []int
+	lastLoad   int // ROB ring index of most recent dispatched load, -1 if none
+	// staged holds an instruction held back by a full LQ (valid when
+	// hasStaged). Stored by value: a pointer here escapes a fresh copy
+	// to the heap every cycle the LQ stays full.
+	staged    trace.Instr
+	hasStaged bool
+	// pendBuf/pendHead/pendLen ring the ROB indices of
+	// dispatched-but-unissued loads in program order. Issue examines a
+	// bounded window at the head and compacts only that window in
+	// place, so a long blocked tail is never copied per cycle. Loads
+	// hold LQ slots until retirement, so occupancy is bounded by
+	// LQSize; pendPush still grows defensively. The capacity is kept a
+	// power of two so every ring index is pendMask arithmetic.
+	pendBuf  []int
+	pendMask int
+	pendHead int
+	pendLen  int
 
 	// OnCommitLoad is invoked for every retiring load; returning false
 	// stalls retirement this cycle (commit engine back-pressure).
@@ -209,6 +221,12 @@ func New(cfg Config, src trace.Source, loads LoadPort, storeTo StorePort) *Core 
 		lastLoad: -1,
 		pool:     &mem.RequestPool{},
 	}
+	pendCap := 1
+	for pendCap < cfg.LQSize {
+		pendCap *= 2
+	}
+	c.pendBuf = make([]int, pendCap)
+	c.pendMask = pendCap - 1
 	if vp, ok := loads.(VersionedPort); ok {
 		c.verPort = vp
 	}
@@ -250,7 +268,29 @@ func (c *Core) SetPool(p *mem.RequestPool) { c.pool = p }
 
 // Done reports whether the trace is exhausted and the ROB drained.
 func (c *Core) Done() bool {
-	return c.srcDone && c.count == 0 && c.stores.Len() == 0 && c.staged == nil
+	return c.srcDone && c.count == 0 && c.stores.Len() == 0 && !c.hasStaged
+}
+
+// pendAt returns the i-th pending-load ROB index from the ring head.
+func (c *Core) pendAt(i int) int {
+	return c.pendBuf[(c.pendHead+i)&c.pendMask]
+}
+
+// pendPush appends a pending load at the ring tail.
+func (c *Core) pendPush(idx int) {
+	if c.pendLen == len(c.pendBuf) {
+		// Cannot happen while pending loads hold LQ slots (see the
+		// field comment); kept as a safety valve for exotic configs.
+		grown := make([]int, 2*len(c.pendBuf))
+		for i := 0; i < c.pendLen; i++ {
+			grown[i] = c.pendAt(i)
+		}
+		c.pendBuf = grown
+		c.pendMask = len(grown) - 1
+		c.pendHead = 0
+	}
+	c.pendBuf[(c.pendHead+c.pendLen)&c.pendMask] = idx
+	c.pendLen++
 }
 
 // Now returns the core's current cycle.
@@ -316,7 +356,11 @@ func (c *Core) retire() {
 		}
 		c.Stats.Instructions++
 		e.retired = true
-		c.head = (c.head + 1) % len(c.rob)
+		// Compare-and-wrap: the ROB size (352) is not a power of two, so
+		// a modulo here is a real division on the retire path.
+		if c.head++; c.head == len(c.rob) {
+			c.head = 0
+		}
 		c.count--
 	}
 }
@@ -340,8 +384,8 @@ func (c *Core) dispatch() {
 			return
 		}
 		var in trace.Instr
-		if c.staged != nil {
-			in = *c.staged
+		if c.hasStaged {
+			in = c.staged
 		} else {
 			if c.srcDone {
 				return
@@ -358,18 +402,40 @@ func (c *Core) dispatch() {
 			// instruction in a one-slot staging latch until a slot
 			// frees.
 			c.Stats.LQFullCycles++
-			staged := in
-			c.staged = &staged
+			c.staged = in
+			c.hasStaged = true
 			return
 		}
-		c.staged = nil
+		c.hasStaged = false
 		c.place(in)
 	}
 }
 
 func (c *Core) place(in trace.Instr) {
 	e := &c.rob[c.tail]
-	*e = robEntry{in: in, seq: c.seq, depIdx: -1, execReady: c.now + 1}
+	// Field-by-field reset instead of a struct literal: the literal
+	// builds a 136-byte temporary and bulk-copies it per instruction
+	// (it was the core's top duffcopy source). Every robEntry field
+	// must be (re)assigned here — the slot is recycled ring storage.
+	e.in = in
+	e.seq = c.seq
+	e.isLoad = false
+	e.issued = false
+	e.done = false
+	e.retired = false
+	e.lqID = 0
+	e.accessCycle = 0
+	e.hitLevel = 0
+	e.fetchLat = 0
+	e.hitPref = false
+	e.mergedPref = false
+	e.execReady = c.now + 1
+	e.depIdx = -1
+	e.req = nil
+	e.transReady = 0
+	e.translated = false
+	e.portBlocked = false
+	e.blockedVer = 0
 	c.seq++
 	if in.Branch {
 		c.Stats.Branches++
@@ -384,19 +450,23 @@ func (c *Core) place(in trace.Instr) {
 		e.isLoad = true
 		e.done = false
 		e.lqID = c.nextLQ
-		c.nextLQ = (c.nextLQ + 1) % c.cfg.LQSize
+		if c.nextLQ++; c.nextLQ == c.cfg.LQSize {
+			c.nextLQ = 0
+		}
 		c.lqFree--
 		if in.Dep {
 			e.depIdx = c.lastLoad
 		}
 		c.lastLoad = c.tail
-		c.pendLoads = append(c.pendLoads, c.tail)
+		c.pendPush(c.tail)
 		c.gateValid = false // new load entered the scheduling window
 		c.Stats.Loads++
 	} else {
 		e.done = true
 	}
-	c.tail = (c.tail + 1) % len(c.rob)
+	if c.tail++; c.tail == len(c.rob) {
+		c.tail = 0
+	}
 	c.count++
 }
 
@@ -422,20 +492,31 @@ func (c *Core) issueLoads() {
 		}
 		c.gateValid = false
 	}
+	// One StateVersion read serves the whole pass; within a pass only a
+	// successful issue can move it, so it is re-read after each issue.
+	// A stale (older) cached version can only cause an extra retry of a
+	// side-effect-free rejection — never a skipped one.
+	ver := uint64(0)
+	if c.verPort != nil {
+		ver = c.verPort.StateVersion()
+	}
 	issued := 0
 	gate := true
 	until := mem.NoEvent
-	kept := c.pendLoads[:0]
-	for i, idx := range c.pendLoads {
+	var keptBuf [issueWindow]int
+	examined, kept := 0, 0
+	for i := 0; i < c.pendLen; i++ {
 		if issued >= c.cfg.IssueLoadsPerCycle || i >= issueWindow {
 			// Loads beyond the window stay invisible until a window
 			// entry issues, so an all-blocked window still gates.
-			kept = append(kept, c.pendLoads[i:]...)
 			break
 		}
+		examined++
+		idx := c.pendAt(i)
 		e := &c.rob[idx]
-		if !c.tryIssue(e, idx) {
-			kept = append(kept, idx)
+		if !c.tryIssue(e, idx, ver) {
+			keptBuf[kept] = idx
+			kept++
 			// Classify the block, mirroring tryIssue's checks in order:
 			// only observable blocks keep the pass gateable.
 			switch {
@@ -457,22 +538,33 @@ func (c *Core) issueLoads() {
 			continue
 		}
 		issued++
+		if c.verPort != nil {
+			ver = c.verPort.StateVersion()
+		}
 	}
-	c.pendLoads = kept
-	if issued == 0 && gate && len(kept) > 0 {
+	// Compact in place: the kept window entries slide to the end of the
+	// examined region (order preserved), the head advances over the
+	// issued ones, and the unexamined tail is untouched.
+	if removed := examined - kept; removed > 0 {
+		newHead := (c.pendHead + removed) & c.pendMask
+		c.pendHead = newHead
+		c.pendLen -= removed
+		for j := 0; j < kept; j++ {
+			c.pendBuf[(newHead+j)&c.pendMask] = keptBuf[j]
+		}
+	}
+	if issued == 0 && gate && c.pendLen > 0 {
 		c.gateValid = true
 		c.gateWake = c.wake
-		c.gateVer = 0
-		if c.verPort != nil {
-			c.gateVer = c.verPort.StateVersion()
-		}
+		c.gateVer = ver
 		c.gateUntil = until
 	}
 }
 
 // tryIssue attempts to send one load; it returns true when the load no
-// longer needs scheduling (issued).
-func (c *Core) tryIssue(e *robEntry, idx int) bool {
+// longer needs scheduling (issued). ver is the caller's current read
+// of the versioned port's state version.
+func (c *Core) tryIssue(e *robEntry, idx int, ver uint64) bool {
 	if e.depIdx >= 0 {
 		dep := &c.rob[e.depIdx]
 		// The dependency is live only while that entry still holds the
@@ -490,7 +582,7 @@ func (c *Core) tryIssue(e *robEntry, idx int) bool {
 	if e.transReady > c.now {
 		return false // translation in flight
 	}
-	if e.portBlocked && c.verPort != nil && c.verPort.StateVersion() == e.blockedVer {
+	if e.portBlocked && c.verPort != nil && ver == e.blockedVer {
 		// The port rejected this load and nothing that could change the
 		// outcome has happened since; skip the (side-effect-free) retry.
 		return false
@@ -511,9 +603,10 @@ func (c *Core) tryIssue(e *robEntry, idx int) bool {
 	}
 	if !c.loads.IssueLoad(e.req) {
 		// Port rejected (queue/MSHR full): retry when its state moves.
+		// The rejection was side-effect-free, so ver is still current.
 		if c.verPort != nil {
 			e.portBlocked = true
-			e.blockedVer = c.verPort.StateVersion()
+			e.blockedVer = ver
 		}
 		return false
 	}
@@ -599,7 +692,7 @@ func (c *Core) NextEvent(now mem.Cycle) mem.Cycle {
 		}
 	}
 	if c.count < len(c.rob) {
-		if c.staged != nil {
+		if c.hasStaged {
 			if c.lqFree > 0 {
 				if c.stallUntil <= now {
 					return min // staged instruction places
@@ -615,24 +708,23 @@ func (c *Core) NextEvent(now mem.Cycle) mem.Cycle {
 			earliest(c.stallUntil)
 		}
 	}
-	if c.gateValid && c.wake == c.gateWake {
+	// One version read serves the whole (read-only) probe.
+	ver := uint64(0)
+	if c.verPort != nil {
+		ver = c.verPort.StateVersion()
+	}
+	if c.gateValid && c.wake == c.gateWake && ver == c.gateVer {
 		// The issue gate already classified every window-visible load:
 		// all blocked externally except translations due at gateUntil.
-		ver := uint64(0)
-		if c.verPort != nil {
-			ver = c.verPort.StateVersion()
-		}
-		if ver == c.gateVer {
-			earliest(c.gateUntil)
-			return next
-		}
+		earliest(c.gateUntil)
+		return next
 	}
-	n := len(c.pendLoads)
+	n := c.pendLen
 	if n > issueWindow {
 		n = issueWindow
 	}
 	for i := 0; i < n; i++ {
-		e := &c.rob[c.pendLoads[i]]
+		e := &c.rob[c.pendAt(i)]
 		if e.depIdx >= 0 {
 			dep := &c.rob[e.depIdx]
 			if dep.isLoad && dep.seq < e.seq && !dep.retired && !dep.done {
@@ -646,7 +738,7 @@ func (c *Core) NextEvent(now mem.Cycle) mem.Cycle {
 			earliest(e.transReady)
 			continue
 		}
-		if e.portBlocked && c.verPort != nil && c.verPort.StateVersion() == e.blockedVer {
+		if e.portBlocked && c.verPort != nil && ver == e.blockedVer {
 			continue // waits on port state (external)
 		}
 		return min // issuable now
@@ -662,7 +754,7 @@ func (c *Core) NextEvent(now mem.Cycle) mem.Cycle {
 func (c *Core) SkipIdle(now, k mem.Cycle) {
 	c.now = now + k
 	c.Stats.Cycles += uint64(k)
-	if c.staged != nil && c.lqFree == 0 && c.count < len(c.rob) {
+	if c.hasStaged && c.lqFree == 0 && c.count < len(c.rob) {
 		attempts := k
 		if c.stallUntil > now+1 {
 			stalled := c.stallUntil - now - 1 // leading cycles below stallUntil

@@ -5,9 +5,9 @@ import "fmt"
 // DebugHead describes the ROB head entry for diagnostics.
 func (c *Core) DebugHead() string {
 	if c.count == 0 {
-		return fmt.Sprintf("rob empty (srcDone=%v staged=%v stores=%d)", c.srcDone, c.staged != nil, c.stores.Len())
+		return fmt.Sprintf("rob empty (srcDone=%v staged=%v stores=%d)", c.srcDone, c.hasStaged, c.stores.Len())
 	}
 	e := &c.rob[c.head]
 	return fmt.Sprintf("rob head: seq=%d isLoad=%v issued=%v done=%v line=%#x pendLoads=%d lqFree=%d count=%d",
-		e.seq, e.isLoad, e.issued, e.done, e.in.Load, len(c.pendLoads), c.lqFree, c.count)
+		e.seq, e.isLoad, e.issued, e.done, e.in.Load, c.pendLen, c.lqFree, c.count)
 }

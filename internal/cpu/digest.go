@@ -26,15 +26,15 @@ func (c *Core) StateDigest() uint64 {
 		d = observatory.DigestRequest(d, e.req)
 	}
 	d = d.Word(uint64(int64(c.lqFree))).Word(uint64(int64(c.nextLQ)))
-	d = d.Word(uint64(c.stallUntil)).Bool(c.srcDone).Bool(c.staged != nil)
+	d = d.Word(uint64(c.stallUntil)).Bool(c.srcDone).Bool(c.hasStaged)
 	d = d.Word(uint64(int64(c.lastLoad)))
 	d = d.Word(uint64(c.stores.Len()))
 	for i := 0; i < c.stores.Len(); i++ {
 		d = observatory.DigestRequest(d, c.stores.At(i))
 	}
-	d = d.Word(uint64(len(c.pendLoads)))
-	for _, idx := range c.pendLoads {
-		d = d.Word(uint64(int64(idx)))
+	d = d.Word(uint64(c.pendLen))
+	for i := 0; i < c.pendLen; i++ {
+		d = d.Word(uint64(int64(c.pendAt(i))))
 	}
 	d = d.Word(c.wake)
 	d = d.Word(c.Stats.Instructions).Word(c.Stats.Loads).Word(c.Stats.Cycles)

@@ -121,6 +121,13 @@ type GM struct {
 	// slot is free or canceled), so the per-load merge scan walks a
 	// compact tag array instead of the entries.
 	mshrLine []mem.Line
+	// mshrSig is the presence-signature scheme applied to the in-flight
+	// lines: bit (line & 63) set for every live MSHR entry. A clear bit
+	// proves no merge candidate and skips the scan. Bits of departed
+	// entries linger (false positives only) until a rebuild, counted by
+	// mshrSigStale.
+	mshrSig      uint64
+	mshrSigStale int
 	// mshrMaxTs is a conservative upper bound on the timestamps of live
 	// MSHR entries (raised on fetch start, tightened whenever a full
 	// leapfrog scan runs). A leapfrog needs a victim strictly younger
@@ -323,9 +330,13 @@ func (g *GM) issueLoad(r *mem.Request, countStats, allowLeapfrog bool) bool {
 	// Merge with an in-flight fetch if TimeGuarding allows: the waiter
 	// may ride along only if the fill it will observe comes from an
 	// older-or-equal instruction. Fills adopt the oldest waiter's
-	// timestamp, so merging is always safe for younger requests.
-	for i, l := range g.mshrLine {
-		if l == r.Line {
+	// timestamp, so merging is always safe for younger requests. An
+	// empty MSHR or a clear signature bit proves no merge candidate.
+	if g.mshrInUse > 0 && g.mshrSig&(1<<(uint64(r.Line)&63)) != 0 {
+		for i, l := range g.mshrLine {
+			if l != r.Line {
+				continue
+			}
 			e := &g.mshr[i]
 			e.waiters = append(e.waiters, r)
 			if r.Timestamp < e.timestamp {
@@ -427,7 +438,24 @@ func (g *GM) allocMSHR(ts uint64, allowLeapfrog bool) int {
 	g.mshrInUse--
 	g.mshrMarkFree(victim)
 	g.mshrLine[victim] = gmInvalid
+	g.mshrSigNoteStale()
 	return victim
+}
+
+// mshrSigNoteStale counts a departed MSHR line; after enough of them
+// the merge-scan signature is rebuilt from the live lines so lingering
+// false-positive bits do not accumulate.
+func (g *GM) mshrSigNoteStale() {
+	if g.mshrSigStale++; g.mshrSigStale >= sigRebuildAfter {
+		g.mshrSigStale = 0
+		var sig uint64
+		for _, l := range g.mshrLine {
+			if l != gmInvalid {
+				sig |= 1 << (uint64(l) & 63)
+			}
+		}
+		g.mshrSig = sig
+	}
 }
 
 // startFetch initializes MSHR slot idx for r and sends the invisible
@@ -445,6 +473,7 @@ func (g *GM) startFetch(idx int, r *mem.Request) {
 	g.mshrInUse++
 	g.mshrMarkUsed(idx)
 	g.mshrLine[idx] = r.Line
+	g.mshrSig |= 1 << (uint64(r.Line) & 63)
 	if r.Timestamp > g.mshrMaxTs {
 		g.mshrMaxTs = r.Timestamp
 	}
@@ -532,6 +561,7 @@ func (g *GM) fill(e *gmMSHR, pr *mem.Request) {
 	g.mshrInUse--
 	g.mshrMarkFree(e.slot)
 	g.mshrLine[e.slot] = gmInvalid
+	g.mshrSigNoteStale()
 	g.ver++
 }
 
@@ -677,6 +707,7 @@ func (g *GM) Squash(ts uint64) {
 			g.mshrInUse--
 			g.mshrMarkFree(i)
 			g.mshrLine[i] = gmInvalid
+			g.mshrSigNoteStale()
 			for j := range e.waiters {
 				e.waiters[j] = nil
 			}

@@ -24,7 +24,6 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sync"
 
 	"secpref/internal/mem"
 	"secpref/internal/observatory"
@@ -141,6 +140,18 @@ type Engine struct {
 	digEvery mem.Cycle
 	digNext  mem.Cycle
 	digBuf   []uint64
+
+	// Persistent worker state: workers live for the duration of one
+	// RunToCycle call and execute stages described by the fields below
+	// (stage selector plus its parameters), so an epoch costs two
+	// channel round-trips instead of goroutine and closure allocations.
+	// workCh[w] carries true (run the current stage) or false (exit);
+	// doneCh collects completions. Stage fields are written only while
+	// the workers are quiescent; the channel operations order them.
+	workCh []chan bool
+	doneCh chan struct{}
+	stage  int // 1 = advance-to-target, 2 = catch-up-to-barrier
+	stageB mem.Cycle
 
 	// profiles holds one attribution profile per core plus one for the
 	// shared domain; they merge into finalProfile when the run ends.
@@ -260,6 +271,10 @@ func (e *Engine) RunToCycle(t mem.Cycle) (mem.Cycle, bool, error) {
 	if e.err != nil {
 		return e.now, e.done, e.err
 	}
+	if !e.noSkip && e.workers > 1 && e.now < t && !e.done {
+		e.startWorkers()
+		defer e.stopWorkers()
+	}
 	for e.now < t && !e.done {
 		var err error
 		if e.noSkip {
@@ -285,26 +300,76 @@ func (e *Engine) Run() (*Result, error) {
 	return e.result(), nil
 }
 
-// forCores applies f to every core, on worker goroutines when the
-// engine is parallel. Each invocation touches only core i's private
-// domain (machine, link buffers, request pool), so the only
-// synchronization needed is the join itself.
-func (e *Engine) forCores(f func(i int, m *sim.CoreSystem)) {
+// startWorkers launches the stage workers for one RunToCycle call.
+// Cores are statically partitioned (worker w owns cores w, w+workers,
+// ...), so each stage touches only private domains and the join is the
+// only synchronization. The channels are created once and reused by
+// later calls.
+func (e *Engine) startWorkers() {
+	if e.workCh == nil {
+		e.workCh = make([]chan bool, e.workers)
+		for w := range e.workCh {
+			e.workCh[w] = make(chan bool, 1)
+		}
+		e.doneCh = make(chan struct{}, e.workers)
+	}
+	for w := range e.workCh {
+		go e.workerLoop(w)
+	}
+}
+
+// stopWorkers tells every stage worker to exit; paired with
+// startWorkers so no goroutine outlives the RunToCycle that needed it.
+func (e *Engine) stopWorkers() {
+	for _, ch := range e.workCh {
+		ch <- false
+	}
+}
+
+func (e *Engine) workerLoop(w int) {
+	for <-e.workCh[w] {
+		for i := w; i < len(e.sys.Cores); i += e.workers {
+			e.runStage(i, e.sys.Cores[i])
+		}
+		e.doneCh <- struct{}{}
+	}
+}
+
+// runStage executes the current stage on core i. Stage parameters live
+// in Engine fields (not closures) so the parallel hot path allocates
+// nothing per epoch.
+func (e *Engine) runStage(i int, m *sim.CoreSystem) {
+	switch e.stage {
+	case 1:
+		if e.reached[i] != mem.NoEvent {
+			return
+		}
+		if c, hit := m.AdvanceCore(e.stageB, e.target); hit {
+			e.reached[i] = c
+		}
+	case 2:
+		if m.Now() < e.stageB {
+			m.AdvanceCore(e.stageB, 0)
+		}
+	}
+}
+
+// runStageAll runs one stage across every core, on the persistent
+// workers when the engine is parallel.
+func (e *Engine) runStageAll(stage int, b mem.Cycle) {
+	e.stage, e.stageB = stage, b
 	if e.workers <= 1 {
 		for i, m := range e.sys.Cores {
-			f(i, m)
+			e.runStage(i, m)
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	for i, m := range e.sys.Cores {
-		wg.Add(1)
-		go func(i int, m *sim.CoreSystem) {
-			defer wg.Done()
-			f(i, m)
-		}(i, m)
+	for _, ch := range e.workCh {
+		ch <- true
 	}
-	wg.Wait()
+	for range e.workCh {
+		<-e.doneCh
+	}
 }
 
 // stepEpoch runs one barrier epoch of the parallel engine: cores first
@@ -327,14 +392,7 @@ func (e *Engine) stepEpoch(limit mem.Cycle) error {
 
 	// Stage 1: unfinished cores run toward the barrier, pausing where
 	// they reach the target.
-	e.forCores(func(i int, m *sim.CoreSystem) {
-		if e.reached[i] != mem.NoEvent {
-			return
-		}
-		if c, hit := m.AdvanceCore(b, e.target); hit {
-			e.reached[i] = c
-		}
-	})
+	e.runStageAll(1, b)
 
 	stop := mem.NoEvent
 	if e.allReached() {
@@ -352,11 +410,7 @@ func (e *Engine) stepEpoch(limit mem.Cycle) error {
 
 	// Stage 2: bring every core that is short of the (possibly
 	// tightened) barrier to exactly it.
-	e.forCores(func(i int, m *sim.CoreSystem) {
-		if m.Now() < b {
-			m.AdvanceCore(b, 0)
-		}
-	})
+	e.runStageAll(2, b)
 
 	// Shared domain catches up serially, draining the cores' buffered
 	// requests in the deterministic merge order.

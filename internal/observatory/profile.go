@@ -31,8 +31,8 @@ type RankProfile struct {
 	VersionTicks uint64 `json:"version_ticks"`
 	// Conditional re-arm outcomes after a visited cycle: rescheduled at
 	// a fresh NextEvent vs. calendar entry kept untouched.
-	Rearmed  uint64 `json:"rearmed"`
-	KeptArm  uint64 `json:"kept_arms"`
+	Rearmed uint64 `json:"rearmed"`
+	KeptArm uint64 `json:"kept_arms"`
 	// Sampled wall time spent inside the component's Tick.
 	WallNs      uint64 `json:"wall_ns"`
 	WallSamples uint64 `json:"wall_samples"`
@@ -230,17 +230,17 @@ func (p *Profile) SkipEfficiency() float64 {
 
 // Row is one derived line of the sim-profile table.
 type Row struct {
-	Rank         string  `json:"rank"`
-	Ticks        uint64  `json:"ticks"`
-	Integrated   uint64  `json:"integrated"`
-	DueTicks     uint64  `json:"due_ticks"`
-	WakeTicks    uint64  `json:"wake_ticks"`
-	VersionTicks uint64  `json:"version_ticks"`
-	Rearmed      uint64  `json:"rearmed"`
-	KeptArms     uint64  `json:"kept_arms"`
-	TickShare    float64 `json:"tick_share"`
+	Rank          string  `json:"rank"`
+	Ticks         uint64  `json:"ticks"`
+	Integrated    uint64  `json:"integrated"`
+	DueTicks      uint64  `json:"due_ticks"`
+	WakeTicks     uint64  `json:"wake_ticks"`
+	VersionTicks  uint64  `json:"version_ticks"`
+	Rearmed       uint64  `json:"rearmed"`
+	KeptArms      uint64  `json:"kept_arms"`
+	TickShare     float64 `json:"tick_share"`
 	WallNsPerTick float64 `json:"wall_ns_per_tick"`
-	WallSamples  uint64  `json:"wall_samples"`
+	WallSamples   uint64  `json:"wall_samples"`
 }
 
 // Table derives the per-rank rows.

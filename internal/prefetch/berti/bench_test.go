@@ -1,0 +1,58 @@
+package berti
+
+import (
+	"testing"
+
+	"secpref/internal/mem"
+	"secpref/internal/prefetch"
+)
+
+// benchIPs is sized to exercise the per-IP bucket chains with realistic
+// collision pressure: more IPs than buckets would see from a single
+// loop nest, fewer than the history can hold.
+const benchIPs = 16
+
+// warmPrefetcher drives a multi-IP strided stream long enough to fill
+// the history ring and the delta tables, so the benchmarks measure the
+// steady state rather than cold-table behavior.
+func warmPrefetcher() (*Prefetcher, *int) {
+	issued := 0
+	p := New(func(mem.Line, mem.Addr, mem.Level) bool { issued++; return true })
+	for i := 0; i < 4*historySize; i++ {
+		ip := mem.Addr(0x400 + 8*(i%benchIPs))
+		line := mem.Line(1000 + 64*(i%benchIPs) + 3*(i/benchIPs))
+		now := mem.Cycle(10 * i)
+		p.Train(prefetch.Event{Line: line, IP: ip, Cycle: now, AccessCycle: now})
+		p.Observe(ip, line, now, 35)
+	}
+	return p, &issued
+}
+
+// BenchmarkComponentBertiObserve measures the latency-learning path:
+// the history search (indexed bucket-chain walk) plus delta-table
+// bookkeeping, on a warm multi-IP stream.
+func BenchmarkComponentBertiObserve(b *testing.B) {
+	p, _ := warmPrefetcher()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ip := mem.Addr(0x400 + 8*(i%benchIPs))
+		line := mem.Line(1000 + 64*(i%benchIPs) + 3*(i/benchIPs))
+		p.Observe(ip, line, mem.Cycle(10*i), 35)
+	}
+}
+
+// BenchmarkComponentBertiTrain measures the demand-access path: the
+// history-ring insert (chain unlink/relink) plus the prefetch trigger
+// walk that issues timely deltas.
+func BenchmarkComponentBertiTrain(b *testing.B) {
+	p, _ := warmPrefetcher()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ip := mem.Addr(0x400 + 8*(i%benchIPs))
+		line := mem.Line(1000 + 64*(i%benchIPs) + 3*(i/benchIPs))
+		now := mem.Cycle(10 * i)
+		p.Train(prefetch.Event{Line: line, IP: ip, Cycle: now, AccessCycle: now})
+	}
+}

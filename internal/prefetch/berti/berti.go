@@ -51,6 +51,19 @@ const (
 
 	// maxIssuePerTrigger bounds the deltas issued per training event.
 	maxIssuePerTrigger = 4
+
+	// histBuckets is the IP-index fan-out for the history chains. One
+	// bucket per slot keeps expected chain length at the per-IP entry
+	// count even under full occupancy.
+	histBuckets = historySize
+)
+
+// The ring mask and bucket mask require power-of-two sizes; these
+// compile-time asserts fail (negative array length) if a constant edit
+// breaks that.
+type (
+	_ [1 - 2*(historySize&(historySize-1))]byte
+	_ [1 - 2*(histBuckets&(histBuckets-1))]byte
 )
 
 // The access history is struct-of-arrays: Observe's timely-delta
@@ -90,6 +103,21 @@ type Prefetcher struct {
 	clock   uint32
 	issue   prefetch.Issuer
 
+	// The history index: per-tag bucket chains over the history
+	// columns, so Observe's timely-delta search walks only the slots
+	// whose tag hashes into the triggering IP's bucket instead of all
+	// 128. Doubly linked for O(1) unlink when the ring overwrites a
+	// slot. Derived from the columns above — excluded from StateDigest
+	// like the other engine memo fields.
+	histHead [histBuckets]int16
+	histNext [historySize]int16
+	histPrev [historySize]int16
+
+	// lastSlot memoizes the delta-table slot of the most recent IP;
+	// self-validating against the table entry, so it is also derived
+	// state.
+	lastSlot int8
+
 	// MSHRFree, if set, reports free L1D MSHR entries for fill-level
 	// orchestration.
 	MSHRFree func() int
@@ -107,7 +135,11 @@ func init() {
 
 // New builds a Berti prefetcher.
 func New(issue prefetch.Issuer) *Prefetcher {
-	return &Prefetcher{issue: issue}
+	p := &Prefetcher{issue: issue}
+	for i := range p.histHead {
+		p.histHead[i] = -1
+	}
+	return p
 }
 
 // Name implements prefetch.Prefetcher.
@@ -135,12 +167,43 @@ func (p *Prefetcher) Train(ev prefetch.Event) {
 	// hits neither insert history nor trigger — per the Berti design,
 	// they would pollute delta timing).
 	if !ev.Hit || ev.HitPrefetched {
-		p.hist.tag[p.histPos] = uint64(h) | histLive
-		p.hist.line[p.histPos] = ev.Line
-		p.hist.ts[p.histPos] = ev.Cycle
-		p.histPos = (p.histPos + 1) % historySize
+		pos := p.histPos
+		if p.hist.tag[pos] != 0 {
+			p.histUnlink(pos)
+		}
+		tag := uint64(h) | histLive
+		p.hist.tag[pos] = tag
+		p.hist.line[pos] = ev.Line
+		p.hist.ts[pos] = ev.Cycle
+		p.histLink(pos, tag)
+		p.histPos = (pos + 1) & (historySize - 1)
 	}
 	p.issueDeltas(h, ev.Line, ev.IP)
+}
+
+func histBucket(tag uint64) int { return int(tag & (histBuckets - 1)) }
+
+func (p *Prefetcher) histLink(i int, tag uint64) {
+	b := histBucket(tag)
+	head := p.histHead[b]
+	p.histNext[i] = head
+	p.histPrev[i] = -1
+	if head >= 0 {
+		p.histPrev[head] = int16(i)
+	}
+	p.histHead[b] = int16(i)
+}
+
+func (p *Prefetcher) histUnlink(i int) {
+	prev, next := p.histPrev[i], p.histNext[i]
+	if prev >= 0 {
+		p.histNext[prev] = next
+	} else {
+		p.histHead[histBucket(p.hist.tag[i])] = next
+	}
+	if next >= 0 {
+		p.histPrev[next] = prev
+	}
 }
 
 // Observe performs the timely-delta search: given the current access's
@@ -158,22 +221,7 @@ func (p *Prefetcher) Observe(ip mem.Addr, line mem.Line, refTime mem.Cycle, late
 	e := p.tableFor(h)
 	e.searches++
 	tag := uint64(h) | histLive
-	best, second := -1, -1
-	for i := range p.hist.tag {
-		if p.hist.tag[i] != tag || p.hist.line[i] == line {
-			continue
-		}
-		if p.hist.ts[i]+latency > refTime {
-			continue
-		}
-		switch {
-		case best < 0 || p.hist.ts[i] > p.hist.ts[best]:
-			second = best
-			best = i
-		case second < 0 || p.hist.ts[i] > p.hist.ts[second]:
-			second = i
-		}
-	}
+	best, second := p.searchTimely(tag, line, refTime, latency)
 	// The two nearest timely candidates vote: the minimal timely delta
 	// plus the next one back, giving the issuer a second step of
 	// lookahead depth (Berti's delta table holds several live deltas
@@ -194,28 +242,95 @@ func (p *Prefetcher) Observe(ip mem.Addr, line mem.Line, refTime mem.Cycle, late
 	}
 }
 
+// searchTimely finds the two best timely history candidates for the
+// search keyed by (ts descending, slot index ascending) — exactly the
+// order the straight-line scan's strict comparisons select, so the
+// chain walk is bit-identical to it regardless of chain order. Slots
+// whose tag merely collides into the same bucket are filtered by the
+// full-tag compare, same as the linear scan.
+func (p *Prefetcher) searchTimely(tag uint64, line mem.Line, refTime, latency mem.Cycle) (best, second int) {
+	best, second = -1, -1
+	for n := p.histHead[histBucket(tag)]; n >= 0; n = p.histNext[n] {
+		i := int(n)
+		if p.hist.tag[i] != tag || p.hist.line[i] == line {
+			continue
+		}
+		if p.hist.ts[i]+latency > refTime {
+			continue
+		}
+		// Chains are newest-first and every insertion carries the machine
+		// clock, so timestamps weakly decrease along the walk: once an
+		// eligible entry falls strictly below second's timestamp, nothing
+		// further can displace best or second (ties are never strict), and
+		// the walk can stop. This is what makes a degenerate single-IP
+		// history O(ties) instead of O(historySize) per search.
+		if second >= 0 && p.hist.ts[i] < p.hist.ts[second] {
+			break
+		}
+		switch {
+		case best < 0 || p.hist.ts[i] > p.hist.ts[best] ||
+			(p.hist.ts[i] == p.hist.ts[best] && i < best):
+			second = best
+			best = i
+		case second < 0 || p.hist.ts[i] > p.hist.ts[second] ||
+			(p.hist.ts[i] == p.hist.ts[second] && i < second):
+			second = i
+		}
+	}
+	return best, second
+}
+
+// searchTimelyLinear is the retained straight-line reference for the
+// history search: the pre-index implementation, kept as the oracle the
+// randomized equivalence tests compare searchTimely against.
+func (p *Prefetcher) searchTimelyLinear(tag uint64, line mem.Line, refTime, latency mem.Cycle) (best, second int) {
+	best, second = -1, -1
+	for i := range p.hist.tag {
+		if p.hist.tag[i] != tag || p.hist.line[i] == line {
+			continue
+		}
+		if p.hist.ts[i]+latency > refTime {
+			continue
+		}
+		switch {
+		case best < 0 || p.hist.ts[i] > p.hist.ts[best]:
+			second = best
+			best = i
+		case second < 0 || p.hist.ts[i] > p.hist.ts[second]:
+			second = i
+		}
+	}
+	return best, second
+}
+
 func (p *Prefetcher) tableFor(h uint32) *ipDeltas {
 	p.clock++
+	if e := &p.table[p.lastSlot]; e.valid && e.ipHash == h {
+		e.lru = p.clock
+		return e
+	}
 	for i := range p.table {
 		e := &p.table[i]
 		if e.valid && e.ipHash == h {
 			e.lru = p.clock
+			p.lastSlot = int8(i)
 			return e
 		}
 	}
-	victim := &p.table[0]
+	victim := 0
 	for i := range p.table {
 		e := &p.table[i]
 		if !e.valid {
-			victim = e
+			victim = i
 			break
 		}
-		if e.lru < victim.lru {
-			victim = e
+		if e.lru < p.table[victim].lru {
+			victim = i
 		}
 	}
-	*victim = ipDeltas{valid: true, ipHash: h, lru: p.clock}
-	return victim
+	p.table[victim] = ipDeltas{valid: true, ipHash: h, lru: p.clock}
+	p.lastSlot = int8(victim)
+	return &p.table[victim]
 }
 
 func (p *Prefetcher) bump(e *ipDeltas, d int32) {
@@ -245,10 +360,15 @@ func (p *Prefetcher) bump(e *ipDeltas, d int32) {
 // issueDeltas sends prefetches for the high-coverage deltas of IP.
 func (p *Prefetcher) issueDeltas(h uint32, line mem.Line, ip mem.Addr) {
 	var e *ipDeltas
-	for i := range p.table {
-		if p.table[i].valid && p.table[i].ipHash == h {
-			e = &p.table[i]
-			break
+	if m := &p.table[p.lastSlot]; m.valid && m.ipHash == h {
+		e = m
+	} else {
+		for i := range p.table {
+			if p.table[i].valid && p.table[i].ipHash == h {
+				e = &p.table[i]
+				p.lastSlot = int8(i)
+				break
+			}
 		}
 	}
 	if e == nil || e.searches == 0 {

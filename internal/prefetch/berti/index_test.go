@@ -1,0 +1,181 @@
+package berti
+
+import (
+	"math/rand"
+	"testing"
+
+	"secpref/internal/mem"
+	"secpref/internal/prefetch"
+)
+
+// observeLinearRef is Observe with the search swapped for the retained
+// linear reference: the oracle the indexed engine is compared against.
+func (p *Prefetcher) observeLinearRef(ip mem.Addr, line mem.Line, refTime, latency mem.Cycle) {
+	p.ObserveCalls++
+	h := ipHash(ip)
+	e := p.tableFor(h)
+	e.searches++
+	tag := uint64(h) | histLive
+	best, second := p.searchTimelyLinear(tag, line, refTime, latency)
+	for _, he := range [...]int{best, second} {
+		if he < 0 {
+			continue
+		}
+		if d := int32(int64(line) - int64(p.hist.line[he])); d != 0 {
+			p.bump(e, d)
+		}
+	}
+	if e.searches >= roundSize {
+		e.searches /= 2
+		for i := range e.deltas {
+			e.deltas[i].count /= 2
+		}
+	}
+}
+
+// adversarialIPs builds an IP pool deliberately heavy in history-bucket
+// collisions: for each of a handful of buckets it gathers several IPs
+// whose hashes land there, so chains carry multiple distinct tags and
+// the full-tag filter in the chain walk is actually exercised.
+func adversarialIPs(rng *rand.Rand, perBucket, buckets int) []mem.Addr {
+	byBucket := map[int][]mem.Addr{}
+	var pool []mem.Addr
+	for len(pool) < perBucket*buckets {
+		ip := mem.Addr(rng.Uint64() &^ 3)
+		b := histBucket(uint64(ipHash(ip)) | histLive)
+		if len(byBucket) < buckets && len(byBucket[b]) == 0 {
+			byBucket[b] = append(byBucket[b], ip)
+			pool = append(pool, ip)
+			continue
+		}
+		if got, ok := byBucket[b]; ok && len(got) < perBucket {
+			byBucket[b] = append(got, ip)
+			pool = append(pool, ip)
+		}
+	}
+	return pool
+}
+
+func nopIssue(mem.Line, mem.Addr, mem.Level) bool { return true }
+
+// TestIndexedSearchEquivalence drives one prefetcher through a
+// randomized adversarial stream and, after every insertion, checks the
+// chain-walk search against the linear reference across random queries
+// (including duplicate timestamps, which stress the (ts, slot)
+// tie-break).
+func TestIndexedSearchEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		pool := adversarialIPs(rng, 6, 8)
+		p := New(prefetch.Issuer(nopIssue))
+		cycle := mem.Cycle(0)
+		for step := 0; step < 4000; step++ {
+			ip := pool[rng.Intn(len(pool))]
+			line := mem.Line(rng.Intn(64))
+			// Bursts of equal timestamps mimic multiple retires per
+			// cycle of the same IP.
+			if rng.Intn(3) != 0 {
+				cycle += mem.Cycle(rng.Intn(4))
+			}
+			p.Train(prefetch.Event{IP: ip, Line: line, Cycle: cycle, Hit: rng.Intn(4) == 0})
+			for q := 0; q < 4; q++ {
+				qip := pool[rng.Intn(len(pool))]
+				tag := uint64(ipHash(qip)) | histLive
+				qline := mem.Line(rng.Intn(64))
+				ref := cycle + mem.Cycle(rng.Intn(32))
+				lat := mem.Cycle(rng.Intn(48))
+				ib, is := p.searchTimely(tag, qline, ref, lat)
+				lb, ls := p.searchTimelyLinear(tag, qline, ref, lat)
+				if ib != lb || is != ls {
+					t.Fatalf("seed %d step %d: indexed (%d,%d) != linear (%d,%d) for tag %#x line %d ref %d lat %d",
+						seed, step, ib, is, lb, ls, tag, qline, ref, lat)
+				}
+			}
+		}
+	}
+}
+
+// TestIndexedObserveDigestEquivalence trains two prefetchers on the
+// same adversarial stream — one observing through the indexed search,
+// one through the linear reference — and requires identical state and
+// identical digests: digest.go must fold the same value from either
+// search path since the index is derived state.
+func TestIndexedObserveDigestEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		pool := adversarialIPs(rng, 5, 10)
+		indexed := New(prefetch.Issuer(nopIssue))
+		linear := New(prefetch.Issuer(nopIssue))
+		cycle := mem.Cycle(0)
+		for step := 0; step < 3000; step++ {
+			ip := pool[rng.Intn(len(pool))]
+			line := mem.Line(rng.Intn(96))
+			if rng.Intn(3) != 0 {
+				cycle += mem.Cycle(rng.Intn(5))
+			}
+			ev := prefetch.Event{IP: ip, Line: line, Cycle: cycle, Hit: rng.Intn(5) == 0}
+			indexed.Train(ev)
+			linear.Train(ev)
+			if rng.Intn(2) == 0 {
+				oip := pool[rng.Intn(len(pool))]
+				oline := mem.Line(rng.Intn(96))
+				ref := cycle + mem.Cycle(rng.Intn(24))
+				lat := mem.Cycle(rng.Intn(40))
+				indexed.Observe(oip, oline, ref, lat)
+				linear.observeLinearRef(oip, oline, ref, lat)
+			}
+		}
+		if indexed.hist != linear.hist {
+			t.Fatalf("seed %d: history columns diverged between indexed and linear paths", seed)
+		}
+		if indexed.table != linear.table {
+			t.Fatalf("seed %d: delta tables diverged between indexed and linear paths", seed)
+		}
+		di, dl := indexed.StateDigest(), linear.StateDigest()
+		if di != dl {
+			t.Fatalf("seed %d: digest mismatch: indexed %#x linear %#x", seed, di, dl)
+		}
+	}
+}
+
+// TestHistChainsConsistent verifies the chain invariants after a long
+// run: every live slot is on exactly the chain of its bucket, dead
+// slots on none, and prev/next agree.
+func TestHistChainsConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pool := adversarialIPs(rng, 4, 12)
+	p := New(prefetch.Issuer(nopIssue))
+	for step := 0; step < 2000; step++ {
+		p.Train(prefetch.Event{
+			IP:    pool[rng.Intn(len(pool))],
+			Line:  mem.Line(rng.Intn(64)),
+			Cycle: mem.Cycle(step),
+		})
+	}
+	seen := make(map[int]bool)
+	for b := range p.histHead {
+		prev := int16(-1)
+		for n := p.histHead[b]; n >= 0; n = p.histNext[n] {
+			i := int(n)
+			if seen[i] {
+				t.Fatalf("slot %d linked twice", i)
+			}
+			seen[i] = true
+			if p.hist.tag[i] == 0 {
+				t.Fatalf("dead slot %d on chain %d", i, b)
+			}
+			if histBucket(p.hist.tag[i]) != b {
+				t.Fatalf("slot %d on wrong chain %d", i, b)
+			}
+			if p.histPrev[i] != prev {
+				t.Fatalf("slot %d prev %d want %d", i, p.histPrev[i], prev)
+			}
+			prev = n
+		}
+	}
+	for i := 0; i < historySize; i++ {
+		if p.hist.tag[i] != 0 && !seen[i] {
+			t.Fatalf("live slot %d not on any chain", i)
+		}
+	}
+}

@@ -29,6 +29,11 @@ const (
 	maxDistance  = 8
 )
 
+// The unsigned % (or mask) indexing over this table is a shift-and-
+// mask only while the size stays a power of two; this compile-time
+// assert (negative array length otherwise) pins that.
+type _ [1 - 2*(phtSize&(phtSize-1))]byte
+
 // regionOf maps a line to its region id; offsetOf to the line's slot.
 func regionOf(l mem.Line) uint64 { return uint64(l) / regionLines }
 func offsetOf(l mem.Line) uint8  { return uint8(uint64(l) % regionLines) }

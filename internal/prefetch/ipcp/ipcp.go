@@ -37,6 +37,11 @@ const (
 	maxDistance  = 6
 )
 
+// The unsigned % (or mask) indexing over this table is a shift-and-
+// mask only while the size stays a power of two; this compile-time
+// assert (negative array length otherwise) pins that.
+type _ [1 - 2*(ipTableSize&(ipTableSize-1))]byte
+
 type class uint8
 
 const (

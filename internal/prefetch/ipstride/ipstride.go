@@ -22,6 +22,11 @@ const (
 	maxDistance  = 8
 )
 
+// The unsigned % (or mask) indexing over this table is a shift-and-
+// mask only while the size stays a power of two; this compile-time
+// assert (negative array length otherwise) pins that.
+type _ [1 - 2*(tableSize&(tableSize-1))]byte
+
 type entry struct {
 	tag    uint32
 	last   mem.Line

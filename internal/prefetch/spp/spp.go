@@ -48,6 +48,11 @@ const (
 	feedbackCap = 1024
 )
 
+// The unsigned % (or mask) indexing over this table is a shift-and-
+// mask only while the size stays a power of two; this compile-time
+// assert (negative array length otherwise) pins that.
+type _ [1 - 2*(stSize&(stSize-1))]byte
+
 type stEntry struct {
 	valid   bool
 	tag     uint16

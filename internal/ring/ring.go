@@ -8,8 +8,13 @@ package ring
 
 // Buf is a FIFO ring buffer. The zero value is an empty, unallocated
 // buffer ready for use.
+//
+// The backing array's length is always a power of two (grow doubles
+// from 8), so every index wrap is a mask instead of a division — these
+// queues sit on the simulator's hottest paths.
 type Buf[T any] struct {
 	buf  []T
+	mask int // len(buf) - 1; meaningful once allocated (first Push grows)
 	head int
 	n    int
 }
@@ -22,7 +27,7 @@ func (b *Buf[T]) Push(v T) {
 	if b.n == len(b.buf) {
 		b.grow()
 	}
-	b.buf[(b.head+b.n)%len(b.buf)] = v
+	b.buf[(b.head+b.n)&b.mask] = v
 	b.n++
 }
 
@@ -44,7 +49,7 @@ func (b *Buf[T]) PopFront() T {
 	var zero T
 	v := b.buf[b.head]
 	b.buf[b.head] = zero
-	b.head = (b.head + 1) % len(b.buf)
+	b.head = (b.head + 1) & b.mask
 	b.n--
 	return v
 }
@@ -54,19 +59,25 @@ func (b *Buf[T]) At(i int) T {
 	if i < 0 || i >= b.n {
 		panic("ring: index out of range")
 	}
-	return b.buf[(b.head+i)%len(b.buf)]
+	return b.buf[(b.head+i)&b.mask]
 }
 
 // grow doubles the backing array, compacting elements to the front.
+// Doubling from a power-of-two floor keeps the length a power of two —
+// the masked indexing above depends on it.
 func (b *Buf[T]) grow() {
-	cap := len(b.buf) * 2
-	if cap == 0 {
-		cap = 8
+	newCap := len(b.buf) * 2
+	if newCap == 0 {
+		newCap = 8
 	}
-	nb := make([]T, cap)
+	if newCap&(newCap-1) != 0 {
+		panic("ring: capacity must stay a power of two")
+	}
+	nb := make([]T, newCap)
 	for i := 0; i < b.n; i++ {
-		nb[i] = b.buf[(b.head+i)%len(b.buf)]
+		nb[i] = b.buf[(b.head+i)&b.mask]
 	}
 	b.buf = nb
+	b.mask = newCap - 1
 	b.head = 0
 }

@@ -13,7 +13,7 @@ import (
 // artifacts recorded under different engines never get compared as if
 // they were interchangeable. Bump it whenever the engine's scheduling
 // or skipping behaviour changes in a way that could move numbers.
-const EngineVersion = "ev6-sharded-multicore"
+const EngineVersion = "ev7-flat-profile"
 
 // ComponentNames fixes the order of the per-component state-digest
 // vector (StateDigests). Absent components (GM on a non-secure system,
