@@ -85,6 +85,12 @@ type MulticoreBaseline struct {
 	Lockstep Measurement `json:"lockstep"`
 	Parallel Measurement `json:"parallel"`
 	Speedup  float64     `json:"speedup"`
+	// Observed is the parallel engine with the full observer complement
+	// attached (interference observatory, per-core window samplers,
+	// shared-domain tracer); ObserverOverheadPct is its slowdown
+	// relative to Parallel.
+	Observed            Measurement `json:"observed"`
+	ObserverOverheadPct float64     `json:"observer_overhead_pct"`
 }
 
 // The bench scenario is rate mode (four copies of the memory-bound
@@ -108,10 +114,33 @@ func multicoreConfig() multicore.Config {
 	return cfg
 }
 
-// measureMulticoreOnce times one 4-core run on the selected engine and
-// fingerprints its full Result. InstrsPerSec counts instructions
-// retired across all cores in the measured window.
-func measureMulticoreOnce(lockstep bool) (Measurement, uint64, error) {
+// Multicore engine flavors measured by -multicore.
+const (
+	mcLockstep = iota // serial lockstep reference
+	mcParallel        // barrier-parallel engine, unobserved
+	mcObserved        // barrier-parallel with the full observer complement
+)
+
+// mcObservedProbes arms the campaign-style observer complement the
+// overhead gate prices: the interference observatory, one interval
+// sampler per core, and a shared-domain lifecycle tracer.
+func mcObservedProbes(cores int) multicore.Probes {
+	windows := make([]probe.WindowObserver, cores)
+	for i := range windows {
+		windows[i] = probe.NewIntervalSampler(16)
+	}
+	return multicore.Probes{
+		Interference:   true,
+		Windows:        windows,
+		WindowInstrs:   1000,
+		SharedObserver: probe.NewTracer(32, 1<<13),
+	}
+}
+
+// measureMulticoreOnce times one 4-core run on the selected engine
+// flavor and fingerprints its full Result. InstrsPerSec counts
+// instructions retired across all cores in the measured window.
+func measureMulticoreOnce(kind int) (Measurement, uint64, error) {
 	mix := make([]trace.Source, len(mcTraces))
 	for i, n := range mcTraces {
 		tr, err := workload.Get(n, workload.Params{Instrs: 12_000, Seed: 1})
@@ -120,16 +149,27 @@ func measureMulticoreOnce(lockstep bool) (Measurement, uint64, error) {
 		}
 		mix[i] = trace.NewSource(tr)
 	}
+	var p multicore.Probes
+	switch kind {
+	case mcLockstep:
+		p = multicore.Probes{ReferenceEngine: true}
+	case mcObserved:
+		p = mcObservedProbes(len(mcTraces))
+	}
 	var ms0, ms1 runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&ms0)
 	start := time.Now()
-	res, err := multicore.RunProbed(multicoreConfig(), mix, multicore.Probes{ReferenceEngine: lockstep})
+	res, err := multicore.RunProbed(multicoreConfig(), mix, p)
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&ms1)
 	if err != nil {
 		return Measurement{}, 0, err
 	}
+	// Hash the architectural outcome only: the observed flavor's digest
+	// must equal the plain engines' (observers never change results),
+	// which the snapshot itself would trivially break.
+	res.Interference = nil
 	var instrs uint64
 	for _, rc := range res.PerCore {
 		instrs += rc.Instructions
@@ -148,25 +188,47 @@ func measureMulticoreOnce(lockstep bool) (Measurement, uint64, error) {
 	}, observatory.HashBytes(raw), nil
 }
 
-// measureMulticore interleaves lockstep/parallel pairs (same drift
-// cancellation as measure) and insists on one digest across engines
-// and runs — the speedup is only meaningful if the outputs are
-// bit-identical.
-func measureMulticore(runs int) (lockstep, parallel Measurement, speedup float64, digest uint64, err error) {
-	if _, _, err = measureMulticoreOnce(false); err != nil {
+// better folds one fresh measurement into the best-of record: best
+// time and minimum allocations, tracked independently (the simulation's
+// allocation count is deterministic; MemStats noise only inflates it).
+func better(best, m Measurement) Measurement {
+	if m.NsPerOp < best.NsPerOp {
+		a := best.AllocsPerOp
+		best = m
+		best.AllocsPerOp = a
+	}
+	if m.AllocsPerOp < best.AllocsPerOp {
+		best.AllocsPerOp = m.AllocsPerOp
+	}
+	return best
+}
+
+// measureMulticore interleaves lockstep/parallel/observed triples (same
+// drift cancellation as measure) and insists on one digest across all
+// three flavors and every run — the speedup and the observer overhead
+// are only meaningful if the outputs are bit-identical.
+func measureMulticore(runs int) (lockstep, parallel, observed Measurement, speedup, observerPct float64, digest uint64, err error) {
+	if _, _, err = measureMulticoreOnce(mcParallel); err != nil {
 		return
 	}
 	for i := 0; i < runs; i++ {
-		var l, p Measurement
-		var ld, pd uint64
-		if l, ld, err = measureMulticoreOnce(true); err != nil {
+		var l, p, o Measurement
+		var ld, pd, od uint64
+		if l, ld, err = measureMulticoreOnce(mcLockstep); err != nil {
 			return
 		}
-		if p, pd, err = measureMulticoreOnce(false); err != nil {
+		if p, pd, err = measureMulticoreOnce(mcParallel); err != nil {
+			return
+		}
+		if o, od, err = measureMulticoreOnce(mcObserved); err != nil {
 			return
 		}
 		if ld != pd {
 			err = fmt.Errorf("parallel engine changed the simulation output: digest %#x != %#x", pd, ld)
+			return
+		}
+		if od != pd {
+			err = fmt.Errorf("observers changed the simulation output: digest %#x != %#x", od, pd)
 			return
 		}
 		if digest != 0 && ld != digest {
@@ -175,26 +237,21 @@ func measureMulticore(runs int) (lockstep, parallel Measurement, speedup float64
 		}
 		digest = ld
 		if i == 0 {
-			lockstep, parallel = l, p
+			lockstep, parallel, observed = l, p, o
 		}
-		if l.NsPerOp < lockstep.NsPerOp {
-			a := lockstep.AllocsPerOp
-			lockstep = l
-			lockstep.AllocsPerOp = a
-		}
-		if l.AllocsPerOp < lockstep.AllocsPerOp {
-			lockstep.AllocsPerOp = l.AllocsPerOp
-		}
-		if p.NsPerOp < parallel.NsPerOp {
-			a := parallel.AllocsPerOp
-			parallel = p
-			parallel.AllocsPerOp = a
-		}
-		if p.AllocsPerOp < parallel.AllocsPerOp {
-			parallel.AllocsPerOp = p.AllocsPerOp
-		}
+		lockstep = better(lockstep, l)
+		parallel = better(parallel, p)
+		observed = better(observed, o)
 	}
-	return lockstep, parallel, lockstep.NsPerOp / parallel.NsPerOp, digest, nil
+	// Overhead compares the best-of times, not per-pair deltas: a single
+	// noisy 70ms pair can swing a pairwise median by ±20% on a busy
+	// machine, while the minimum over interleaved runs converges on the
+	// true cost floor of each flavor.
+	observerPct = (observed.NsPerOp/parallel.NsPerOp - 1) * 100
+	if observerPct < 0 {
+		observerPct = 0
+	}
+	return lockstep, parallel, observed, lockstep.NsPerOp / parallel.NsPerOp, observerPct, digest, nil
 }
 
 // benchConfig is the single-core scenario configuration shared by the
@@ -501,6 +558,13 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write an allocation profile (after the runs) to this file")
 	mcMode := flag.Bool("multicore", false, "measure the 4-core engine (parallel vs serial lockstep) instead of the single-core scenario")
 	minSpeedup := flag.Float64("min-speedup", 0, "with -multicore: fail unless the parallel engine beats lockstep by this factor")
+	// 25% prices reality, not aspiration: the full observer complement
+	// costs ~10% on a 4-worker box (the event stream rides the serial
+	// shared-domain phase, so its cost lands on the barrier critical
+	// path undiluted), and flavor-to-flavor wall noise adds ±10%. The
+	// sharp zero-tolerance gate is the deterministic allocs budget; this
+	// one catches an accidental map, alloc, or lock on the event path.
+	observerTol := flag.Float64("observer-tol", 25, "with -multicore: fail if the observed engine (interference observatory + samplers + tracer) is more than this percent slower than plain parallel")
 	allocTol := flag.Float64("alloc-tol", 50, "allowed allocs/op growth vs baseline in -check mode, percent (plus a fixed 64-alloc slack)")
 	simProfile := flag.String("simprofile", "", "write the single-core sim-profile table as PATH.json and PATH.csv and gate on -max-tick-share")
 	maxTickShare := flag.Float64("max-tick-share", 0.40, "with -simprofile: fail if any single rank holds more than this fraction of engine ticks")
@@ -532,12 +596,12 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	var m, mp, lockstep Measurement
-	var overhead, speedup float64
+	var m, mp, lockstep, observed Measurement
+	var overhead, speedup, observerPct float64
 	var digest uint64
 	var err error
 	if *mcMode {
-		lockstep, m, speedup, digest, err = measureMulticore(*runs)
+		lockstep, m, observed, speedup, observerPct, digest, err = measureMulticore(*runs)
 	} else {
 		m, mp, overhead, digest, err = measure(*runs)
 	}
@@ -548,6 +612,11 @@ func main() {
 	if *mcMode && *minSpeedup > 0 && speedup < *minSpeedup {
 		fmt.Fprintf(os.Stderr, "bench: parallel engine speedup %.2fx below required %.2fx (lockstep %.1f ms/op, parallel %.1f ms/op)\n",
 			speedup, *minSpeedup, lockstep.NsPerOp/1e6, m.NsPerOp/1e6)
+		os.Exit(1)
+	}
+	if *mcMode && *observerTol > 0 && observerPct > *observerTol {
+		fmt.Fprintf(os.Stderr, "bench: observer overhead %.1f%% exceeds %.0f%% (plain %.1f ms/op, observed %.1f ms/op) — the observatory's event path has gained real per-event cost (map? alloc? lock?)\n",
+			observerPct, *observerTol, m.NsPerOp/1e6, observed.NsPerOp/1e6)
 		os.Exit(1)
 	}
 
@@ -600,10 +669,12 @@ func main() {
 		}
 		if *mcMode {
 			b.Multicore = &MulticoreBaseline{
-				Scenario: mcScenario,
-				Lockstep: lockstep,
-				Parallel: m,
-				Speedup:  speedup,
+				Scenario:            mcScenario,
+				Lockstep:            lockstep,
+				Parallel:            m,
+				Speedup:             speedup,
+				Observed:            observed,
+				ObserverOverheadPct: observerPct,
 			}
 		} else {
 			b.Benchmark = "SimulatorThroughput"
@@ -621,8 +692,8 @@ func main() {
 			os.Exit(1)
 		}
 		if *mcMode {
-			fmt.Printf("updated %s: 4-core parallel %.1f ms/op (%.0f instrs/s), lockstep %.1f ms/op, %.2fx\n",
-				*update, m.NsPerOp/1e6, m.InstrsPerSec, lockstep.NsPerOp/1e6, speedup)
+			fmt.Printf("updated %s: 4-core parallel %.1f ms/op (%.0f instrs/s), lockstep %.1f ms/op, %.2fx; observed %.1f ms/op (%.1f%% overhead)\n",
+				*update, m.NsPerOp/1e6, m.InstrsPerSec, lockstep.NsPerOp/1e6, speedup, observed.NsPerOp/1e6, observerPct)
 		} else {
 			fmt.Printf("updated %s: %.1f ms/op, %.0f instrs/s, %.0fx vs before; probed %.1f ms/op (%.1f%% overhead)\n",
 				*update, m.NsPerOp/1e6, m.InstrsPerSec, b.Speedup, mp.NsPerOp/1e6, b.ProbeOverheadPct)
@@ -646,12 +717,21 @@ func main() {
 			slowdown := (m.NsPerOp/b.Multicore.Parallel.NsPerOp - 1) * 100
 			fmt.Printf("multicore: %.1f ms/op (%.0f instrs/s, %.2fx vs lockstep); baseline: %.1f ms/op; slowdown %.1f%% (tolerance %.0f%%)\n",
 				m.NsPerOp/1e6, m.InstrsPerSec, speedup, b.Multicore.Parallel.NsPerOp/1e6, slowdown, *tol)
+			fmt.Printf("multicore observed: %.1f ms/op (%.1f%% observer overhead, %.0f allocs); baseline: %.1f ms/op (%.1f%%)\n",
+				observed.NsPerOp/1e6, observerPct, observed.AllocsPerOp,
+				b.Multicore.Observed.NsPerOp/1e6, b.Multicore.ObserverOverheadPct)
 			fmt.Printf("multicore allocs/op: lockstep %.0f (baseline %.0f), parallel %.0f (baseline %.0f), alloc tolerance %.0f%%\n",
 				lockstep.AllocsPerOp, b.Multicore.Lockstep.AllocsPerOp,
 				m.AllocsPerOp, b.Multicore.Parallel.AllocsPerOp, *allocTol)
 			if slowdown > *tol {
 				fmt.Fprintln(os.Stderr, "bench: performance regression beyond tolerance")
 				os.Exit(1)
+			}
+			if b.Multicore.Observed.NsPerOp > 0 {
+				if obsSlow := (observed.NsPerOp/b.Multicore.Observed.NsPerOp - 1) * 100; obsSlow > *tol {
+					fmt.Fprintf(os.Stderr, "bench: observed-engine regression: %.1f%% slower than baseline (tolerance %.0f%%)\n", obsSlow, *tol)
+					os.Exit(1)
+				}
 			}
 			// Both engine flavors' allocation counts are enforced the same
 			// way the single-core figure is: the hot paths are supposed to
@@ -662,6 +742,7 @@ func main() {
 			}{
 				{"multicore lockstep", lockstep.AllocsPerOp, b.Multicore.Lockstep.AllocsPerOp},
 				{"multicore parallel", m.AllocsPerOp, b.Multicore.Parallel.AllocsPerOp},
+				{"multicore observed", observed.AllocsPerOp, b.Multicore.Observed.AllocsPerOp},
 			} {
 				if err := allocGate(g.what, g.got, g.want, *allocTol); err != nil {
 					fmt.Fprintln(os.Stderr, "bench:", err)
@@ -694,11 +775,13 @@ func main() {
 		}
 		if *mcMode {
 			out, _ := json.MarshalIndent(&struct {
-				Lockstep     Measurement `json:"lockstep"`
-				Parallel     Measurement `json:"parallel"`
-				Speedup      float64     `json:"speedup"`
-				OutputDigest string      `json:"output_digest"`
-			}{lockstep, m, speedup, fmt.Sprintf("%016x", digest)}, "", "  ")
+				Lockstep            Measurement `json:"lockstep"`
+				Parallel            Measurement `json:"parallel"`
+				Observed            Measurement `json:"observed"`
+				Speedup             float64     `json:"speedup"`
+				ObserverOverheadPct float64     `json:"observer_overhead_pct"`
+				OutputDigest        string      `json:"output_digest"`
+			}{lockstep, m, observed, speedup, observerPct, fmt.Sprintf("%016x", digest)}, "", "  ")
 			fmt.Println(string(out))
 			break
 		}
@@ -732,10 +815,15 @@ func main() {
 		}
 		if *mcMode {
 			// Its own scenario string keeps checkHistory's same-scenario
-			// median from mixing single- and multi-core records.
+			// median from mixing single- and multi-core records. The probed
+			// slots carry the observed-engine figures so the interference
+			// observatory's overhead shows up in the same trend lines.
 			rec.Scenario = mcScenario
 			rec.LockstepNsPerOp = lockstep.NsPerOp
 			rec.SpeedupVsLockstep = speedup
+			rec.ProbedNsPerOp = observed.NsPerOp
+			rec.ProbedAllocsPerOp = observed.AllocsPerOp
+			rec.ProbeOverheadPct = observerPct
 		}
 		note, herr := checkHistory(prior, rec, *tol)
 		// Append before deciding: a regressed record still belongs in the

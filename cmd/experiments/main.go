@@ -111,7 +111,7 @@ func main() {
 		id := *figID
 		if !strings.HasPrefix(id, "fig") && !strings.HasPrefix(id, "suf") &&
 			!strings.HasPrefix(id, "smt") && !strings.HasPrefix(id, "ablate") && !strings.HasPrefix(id, "tsb") &&
-			!strings.HasPrefix(id, "leakage") {
+			!strings.HasPrefix(id, "leakage") && !strings.HasPrefix(id, "consolidation") {
 			id = "fig" + id
 		}
 		ids = []string{id}

@@ -555,7 +555,7 @@ func (c *Cache) handleRead(r *mem.Request) bool {
 		c.notifyAccess(r, -1) // r.MergedPrefetch set by missTo if merged
 		if c.Obs != nil {
 			c.Obs.Event(probe.Event{
-				Kind: probe.EvAccess, Site: c.site, Cycle: c.now,
+				Kind: probe.EvAccess, Site: c.site, Cycle: c.now, Core: r.Core,
 				Seq: r.Timestamp, Line: r.Line, IP: r.IP, Req: r.Kind,
 			})
 		}
@@ -565,7 +565,7 @@ func (c *Cache) handleRead(r *mem.Request) bool {
 	c.notifyAccess(r, w)
 	if c.Obs != nil {
 		c.Obs.Event(probe.Event{
-			Kind: probe.EvAccess, Site: c.site, Cycle: c.now,
+			Kind: probe.EvAccess, Site: c.site, Cycle: c.now, Core: r.Core,
 			Seq: r.Timestamp, Line: r.Line, IP: r.IP, Req: r.Kind, Hit: true,
 		})
 	}
@@ -597,7 +597,7 @@ func (c *Cache) handleSpec(r *mem.Request) bool {
 		c.notifySpec(r, w)
 		if c.Obs != nil {
 			c.Obs.Event(probe.Event{
-				Kind: probe.EvAccess, Site: c.site, Cycle: c.now,
+				Kind: probe.EvAccess, Site: c.site, Cycle: c.now, Core: r.Core,
 				Seq: r.Timestamp, Line: r.Line, IP: r.IP, Req: r.Kind, Hit: true,
 				Spec: true,
 			})
@@ -636,7 +636,7 @@ func (c *Cache) handleSpec(r *mem.Request) bool {
 			c.notifySpec(r, -1)
 			if c.Obs != nil {
 				c.Obs.Event(probe.Event{
-					Kind: probe.EvMerge, Site: c.site, Cycle: c.now,
+					Kind: probe.EvMerge, Site: c.site, Cycle: c.now, Core: r.Core,
 					Seq: r.Timestamp, Line: r.Line, IP: r.IP, Req: r.Kind,
 					Hit: r.MergedPrefetch, Spec: true,
 				})
@@ -653,7 +653,7 @@ func (c *Cache) handleSpec(r *mem.Request) bool {
 	c.notifySpec(r, -1)
 	if c.Obs != nil {
 		c.Obs.Event(probe.Event{
-			Kind: probe.EvAccess, Site: c.site, Cycle: c.now,
+			Kind: probe.EvAccess, Site: c.site, Cycle: c.now, Core: r.Core,
 			Seq: r.Timestamp, Line: r.Line, IP: r.IP, Req: r.Kind,
 			Spec: true,
 		})
@@ -766,7 +766,7 @@ func (c *Cache) handlePrefetch(r *mem.Request) bool {
 		c.Stats.PrefDroppedQ++
 		if c.Obs != nil {
 			c.Obs.Event(probe.Event{
-				Kind: probe.EvDrop, Site: c.site, Cycle: c.now,
+				Kind: probe.EvDrop, Site: c.site, Cycle: c.now, Core: r.Core,
 				Seq: r.Timestamp, Line: r.Line, IP: r.IP, Req: r.Kind,
 				Aux: probe.DropQueueFull,
 			})
@@ -808,7 +808,7 @@ func (c *Cache) missTo(r *mem.Request, kind mem.Kind) bool {
 			c.Stats.MSHRMerges++
 			if c.Obs != nil {
 				c.Obs.Event(probe.Event{
-					Kind: probe.EvMerge, Site: c.site, Cycle: c.now,
+					Kind: probe.EvMerge, Site: c.site, Cycle: c.now, Core: r.Core,
 					Seq: r.Timestamp, Line: r.Line, IP: r.IP, Req: r.Kind,
 					Hit: r.MergedPrefetch,
 				})
@@ -961,7 +961,7 @@ func (c *Cache) applyFill(fr *fillRecord) bool {
 	}
 	if way < 0 {
 		way = c.victimIn(base)
-		if !c.evict(way) {
+		if !c.evict(way, fr.req) {
 			return false
 		}
 	}
@@ -1010,7 +1010,7 @@ func (c *Cache) applyFill(fr *fillRecord) bool {
 			seq = fr.entry.timestamp
 		}
 		c.Obs.Event(probe.Event{
-			Kind: probe.EvInstall, Site: c.site, Cycle: c.now,
+			Kind: probe.EvInstall, Site: c.site, Cycle: c.now, Core: fr.req.Core,
 			Seq: seq, Line: fr.req.Line, IP: fr.req.IP,
 			Req: fr.req.Kind, Hit: isPref, Aux: uint64(lat),
 		})
@@ -1031,9 +1031,13 @@ func (c *Cache) applyFill(fr *fillRecord) bool {
 }
 
 // evict removes a valid line, emitting a writeback when the line is
-// dirty or marked for GhostMinion propagation. Returns false when the
-// writeback could not be enqueued.
-func (c *Cache) evict(w int) bool {
+// dirty or marked for GhostMinion propagation. `by` is the fill that
+// forced the eviction: its Core/Kind stamp the EvEvict event as the
+// aggressor's provenance (who caused the eviction, not who owned the
+// line), and the victim writeback is charged to the same core —
+// cost-causation for the DRAM write bandwidth the eviction induced.
+// Returns false when the writeback could not be enqueued.
+func (c *Cache) evict(w int, by *mem.Request) bool {
 	line := c.tags[w]
 	if line == invalidTag {
 		return true
@@ -1044,6 +1048,7 @@ func (c *Cache) evict(w int) bool {
 		wb := c.pool.Get()
 		wb.Line = line
 		wb.Kind = mem.KindWriteback
+		wb.Core = by.Core
 		wb.Issued = c.now
 		wb.Dirty = dirty
 		wb.WBBits = m.wbbRest
@@ -1062,8 +1067,8 @@ func (c *Cache) evict(w int) bool {
 	}
 	if c.Obs != nil {
 		c.Obs.Event(probe.Event{
-			Kind: probe.EvEvict, Site: c.site, Cycle: c.now,
-			Line: line, Hit: dirty, Aux: uint64(m.wbbRest),
+			Kind: probe.EvEvict, Site: c.site, Cycle: c.now, Core: by.Core,
+			Line: line, Hit: dirty, Req: by.Kind, Aux: uint64(m.wbbRest),
 		})
 	}
 	c.tags[w] = invalidTag
@@ -1081,7 +1086,7 @@ func (c *Cache) completeMSHR(e *mshrEntry, child *mem.Request) {
 		w.FillLat = c.now - w.Issued
 		if c.Obs != nil {
 			c.Obs.Event(probe.Event{
-				Kind: probe.EvFill, Site: c.site, Cycle: c.now,
+				Kind: probe.EvFill, Site: c.site, Cycle: c.now, Core: w.Core,
 				Seq: w.Timestamp, Line: w.Line, IP: w.IP, Req: w.Kind,
 				Level: served, Aux: uint64(w.FillLat), Spec: w.SpecBypass,
 			})

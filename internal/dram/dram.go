@@ -177,7 +177,8 @@ func (d *DRAM) issueOne() bool {
 	if d.Obs != nil {
 		d.Obs.Event(probe.Event{
 			Kind: probe.EvAccess, Site: probe.SiteDRAM, Cycle: d.now,
-			Seq: entry.req.Timestamp, Line: entry.req.Line, IP: entry.req.IP,
+			Core: entry.req.Core, Seq: entry.req.Timestamp,
+			Line: entry.req.Line, IP: entry.req.IP,
 			Req: entry.req.Kind, Hit: rowHit, Aux: uint64(lat),
 		})
 	}

@@ -14,7 +14,7 @@ var IDs = []string{
 // non-secure systems, ablations, the security scoreboard).
 var ExtensionIDs = []string{
 	"smt-suf", "tsb-nonsecure", "ablate-gm", "ablate-tlb", "ablate-lateness", "ablate-policy",
-	"leakage-audit",
+	"leakage-audit", "consolidation-interference",
 }
 
 // Run regenerates one experiment by id.
@@ -68,6 +68,8 @@ func (r *Runner) Run(id string) (*Table, error) {
 		return r.AblatePolicy()
 	case "leakage-audit":
 		return r.LeakageAudit()
+	case "consolidation-interference":
+		return r.ConsolidationInterference()
 	}
 	return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs)
 }

@@ -1,0 +1,349 @@
+// Snapshot assembly and the export quartet: JSON, CSV, Prometheus
+// text format (probe.PrometheusWriter), and Chrome/Perfetto counter
+// tracks. The Tracker double-buffers: the engine goroutine publishes a
+// complete copy at window boundaries, exports read the last published
+// copy under the mutex — a live /metrics scrape never touches live
+// attribution state.
+package interference
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"secpref/internal/mem"
+)
+
+// CellRow is one exported (aggressor, victim) matrix entry. Evictions
+// is indexed by Class (ClassNames order).
+type CellRow struct {
+	Aggressor int                `json:"aggressor"`
+	Victim    int                `json:"victim"`
+	Evictions [NumClasses]uint64 `json:"evictions"`
+	Inflicted uint64             `json:"inflicted"`
+	Pollution uint64             `json:"pollution"`
+}
+
+// Total sums the eviction classes.
+func (c CellRow) Total() uint64 {
+	var n uint64
+	for _, v := range c.Evictions {
+		n += v
+	}
+	return n
+}
+
+// CoreRow is one core's aggregate shared-domain footprint.
+type CoreRow struct {
+	Core int `json:"core"`
+	// OccLines is the core's resident LLC lines at snapshot time;
+	// OccShare normalizes by total LLC capacity.
+	OccLines uint64  `json:"occ_lines"`
+	OccShare float64 `json:"occ_share"`
+	// Evictions caused (as aggressor) and suffered (as victim), and the
+	// inflicted/pollution misses suffered as victim.
+	EvCaused   uint64 `json:"ev_caused"`
+	EvSuffered uint64 `json:"ev_suffered"`
+	Inflicted  uint64 `json:"inflicted"`
+	Pollution  uint64 `json:"pollution"`
+	// Shared-DRAM activity attributed to the core.
+	DRAMReads  uint64 `json:"dram_reads"`
+	DRAMWrites uint64 `json:"dram_writes"`
+	RowHits    uint64 `json:"row_hits"`
+	RowMisses  uint64 `json:"row_misses"`
+	// Link traffic by provenance class (requests entering the shared
+	// domain over this core's link, measured-phase baseline-adjusted).
+	Link [NumClasses]uint64 `json:"link"`
+}
+
+// WindowRow is one core's cumulative timeline sample at a (barrier-
+// quantized) window boundary. Cycle is relative to the measured-phase
+// start; consecutive rows of one core difference into rates.
+type WindowRow struct {
+	Cycle        uint64 `json:"cycle"`
+	Core         int    `json:"core"`
+	OccLines     uint64 `json:"occ_lines"`
+	EvCaused     uint64 `json:"ev_caused"`
+	EvSuffered   uint64 `json:"ev_suffered"`
+	Inflicted    uint64 `json:"inflicted"`
+	Pollution    uint64 `json:"pollution"`
+	DRAMReads    uint64 `json:"dram_reads"`
+	DRAMWrites   uint64 `json:"dram_writes"`
+	RowHits      uint64 `json:"row_hits"`
+	RowMisses    uint64 `json:"row_misses"`
+	LinkDemand   uint64 `json:"link_demand"`
+	LinkPrefetch uint64 `json:"link_prefetch"`
+	LinkSUF      uint64 `json:"link_suf"`
+	LinkMaint    uint64 `json:"link_maintenance"`
+}
+
+// Snapshot is a self-contained copy of the observatory's state, safe to
+// export after (or during, via the published buffer) a run.
+type Snapshot struct {
+	EngineVersion string      `json:"engine_version"`
+	Cores         int         `json:"cores"`
+	Sets          int         `json:"sets"`
+	Ways          int         `json:"ways"`
+	Cycle         uint64      `json:"cycle"`
+	Cells         []CellRow   `json:"cells"`
+	PerCore       []CoreRow   `json:"per_core"`
+	Windows       []WindowRow `json:"windows"`
+}
+
+// snapshotLocked assembles a Snapshot from live state. Engine goroutine
+// only.
+func (t *Tracker) snapshot(now mem.Cycle) *Snapshot {
+	s := &Snapshot{
+		EngineVersion: t.EngineVersion,
+		Cores:         t.cores,
+		Sets:          t.sets,
+		Ways:          t.ways,
+		Cycle:         uint64(now),
+		Cells:         make([]CellRow, 0, t.cores*t.cores),
+		PerCore:       make([]CoreRow, t.cores),
+		Windows:       append([]WindowRow(nil), t.windows...),
+	}
+	for a := 0; a < t.cores; a++ {
+		for v := 0; v < t.cores; v++ {
+			c := t.cells[a*t.cores+v]
+			s.Cells = append(s.Cells, CellRow{
+				Aggressor: a, Victim: v,
+				Evictions: c.evictions,
+				Inflicted: c.inflicted,
+				Pollution: c.pollution,
+			})
+		}
+	}
+	capacity := float64(t.sets * t.ways)
+	for c := 0; c < t.cores; c++ {
+		s.PerCore[c] = CoreRow{
+			Core:       c,
+			OccLines:   t.occTot[c],
+			OccShare:   float64(t.occTot[c]) / capacity,
+			EvCaused:   t.causedTot[c],
+			EvSuffered: t.sufferedTot[c],
+			Inflicted:  t.inflVicTot[c],
+			Pollution:  t.pollVicTot[c],
+			DRAMReads:  t.dram[c].reads,
+			DRAMWrites: t.dram[c].writes,
+			RowHits:    t.dram[c].rowHits,
+			RowMisses:  t.dram[c].rowMisses,
+			Link:       t.linkDelta(c),
+		}
+	}
+	return s
+}
+
+// publish copies the live state into the mutex-guarded export buffer.
+// Engine goroutine only; called at window boundaries and run end.
+func (t *Tracker) publish(now mem.Cycle) {
+	s := t.snapshot(now)
+	t.mu.Lock()
+	t.pub = s
+	t.mu.Unlock()
+}
+
+// Snapshot returns the last published snapshot (nil before the first
+// window boundary or Finish). Safe from any goroutine.
+func (t *Tracker) Snapshot() *Snapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.pub
+}
+
+// WriteJSON writes the snapshot as one indented JSON document.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteCSV writes the attribution matrix, one row per (aggressor,
+// victim) cell.
+func (s *Snapshot) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"aggressor", "victim"}
+	header = append(header, ClassNames[:]...)
+	header = append(header, "total", "inflicted", "pollution")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, 0, len(header))
+	for _, c := range s.Cells {
+		row = row[:0]
+		row = append(row, strconv.Itoa(c.Aggressor), strconv.Itoa(c.Victim))
+		for _, v := range c.Evictions {
+			row = append(row, strconv.FormatUint(v, 10))
+		}
+		row = append(row,
+			strconv.FormatUint(c.Total(), 10),
+			strconv.FormatUint(c.Inflicted, 10),
+			strconv.FormatUint(c.Pollution, 10))
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WritePrometheus implements probe.PrometheusWriter: the matrix as
+// labeled counters, per-core footprint as gauges. Label cardinality is
+// cores² for the matrix series — fine at the 4–64 cores this simulator
+// runs.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# HELP secpref_interference_evictions_total Cross-core LLC evictions by aggressor provenance.\n# TYPE secpref_interference_evictions_total counter\n"); err != nil {
+		return err
+	}
+	for _, c := range s.Cells {
+		for cl, v := range c.Evictions {
+			if v == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w,
+				"secpref_interference_evictions_total{aggressor=\"%d\",victim=\"%d\",class=%q} %d\n",
+				c.Aggressor, c.Victim, ClassNames[cl], v); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# HELP secpref_interference_inflicted_total Victim demand misses on lines the aggressor evicted.\n# TYPE secpref_interference_inflicted_total counter\n"); err != nil {
+		return err
+	}
+	for _, c := range s.Cells {
+		if c.Inflicted == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w,
+			"secpref_interference_inflicted_total{aggressor=\"%d\",victim=\"%d\"} %d\n",
+			c.Aggressor, c.Victim, c.Inflicted); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# HELP secpref_interference_pollution_total Inflicted misses whose evicting fill was a prefetch.\n# TYPE secpref_interference_pollution_total counter\n"); err != nil {
+		return err
+	}
+	for _, c := range s.Cells {
+		if c.Pollution == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w,
+			"secpref_interference_pollution_total{aggressor=\"%d\",victim=\"%d\"} %d\n",
+			c.Aggressor, c.Victim, c.Pollution); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# HELP secpref_interference_occupancy_lines Per-core resident shared-LLC lines.\n# TYPE secpref_interference_occupancy_lines gauge\n"); err != nil {
+		return err
+	}
+	for _, c := range s.PerCore {
+		if _, err := fmt.Fprintf(w, "secpref_interference_occupancy_lines{core=\"%d\"} %d\n", c.Core, c.OccLines); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# HELP secpref_interference_dram_reads_total Per-core shared-DRAM reads.\n# TYPE secpref_interference_dram_reads_total counter\n"); err != nil {
+		return err
+	}
+	for _, c := range s.PerCore {
+		if _, err := fmt.Fprintf(w, "secpref_interference_dram_reads_total{core=\"%d\"} %d\n", c.Core, c.DRAMReads); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# HELP secpref_interference_dram_writes_total Per-core shared-DRAM writes (charged to the causing core).\n# TYPE secpref_interference_dram_writes_total counter\n"); err != nil {
+		return err
+	}
+	for _, c := range s.PerCore {
+		if _, err := fmt.Fprintf(w, "secpref_interference_dram_writes_total{core=\"%d\"} %d\n", c.Core, c.DRAMWrites); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# HELP secpref_interference_link_requests_total Per-core shared-link requests by provenance class.\n# TYPE secpref_interference_link_requests_total counter\n"); err != nil {
+		return err
+	}
+	for _, c := range s.PerCore {
+		for cl, v := range c.Link {
+			if v == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w,
+				"secpref_interference_link_requests_total{core=\"%d\",class=%q} %d\n",
+				c.Core, ClassNames[cl], v); err != nil {
+				return err
+			}
+		}
+	}
+	if s.EngineVersion != "" {
+		if _, err := fmt.Fprintf(w, "# HELP secpref_interference_engine_info Engine generation the snapshot was recorded under.\n# TYPE secpref_interference_engine_info gauge\nsecpref_interference_engine_info{version=%q} 1\n", s.EngineVersion); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePrometheus implements probe.PrometheusWriter on the Tracker by
+// exporting the last published snapshot (nothing before the first
+// publish). Safe to hang off a live /metrics handler while a run is in
+// flight.
+func (t *Tracker) WritePrometheus(w io.Writer) error {
+	s := t.Snapshot()
+	if s == nil {
+		return nil
+	}
+	return s.WritePrometheus(w)
+}
+
+// chromeEvent is one Chrome trace-event entry; per-core counter tracks
+// use one process per core ("C" events group by pid) so multicore
+// exports don't collapse into a single track.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   uint64            `json:"ts,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]uint64 `json:"args,omitempty"`
+}
+
+type chromeMeta struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Args map[string]string `json:"args"`
+}
+
+// WriteChromeTrace exports the windowed timeline as per-core Perfetto
+// counter tracks (load with ui.perfetto.dev). One process per core,
+// named; 1 simulated cycle = 1µs, matching the observatory convention.
+func (s *Snapshot) WriteChromeTrace(w io.Writer) error {
+	events := make([]interface{}, 0, len(s.Windows)*2+s.Cores)
+	for c := 0; c < s.Cores; c++ {
+		events = append(events, chromeMeta{
+			Name: "process_name", Ph: "M", Pid: c + 1,
+			Args: map[string]string{"name": fmt.Sprintf("core%d interference", c)},
+		})
+	}
+	for _, row := range s.Windows {
+		pid := row.Core + 1
+		events = append(events,
+			chromeEvent{Name: "llc_occupancy", Ph: "C", Ts: row.Cycle, Pid: pid, Tid: 1,
+				Args: map[string]uint64{"lines": row.OccLines}},
+			chromeEvent{Name: "evictions", Ph: "C", Ts: row.Cycle, Pid: pid, Tid: 1,
+				Args: map[string]uint64{"caused": row.EvCaused, "suffered": row.EvSuffered}},
+			chromeEvent{Name: "inflation", Ph: "C", Ts: row.Cycle, Pid: pid, Tid: 1,
+				Args: map[string]uint64{"inflicted": row.Inflicted, "pollution": row.Pollution}},
+			chromeEvent{Name: "dram", Ph: "C", Ts: row.Cycle, Pid: pid, Tid: 1,
+				Args: map[string]uint64{"reads": row.DRAMReads, "writes": row.DRAMWrites}},
+			chromeEvent{Name: "link", Ph: "C", Ts: row.Cycle, Pid: pid, Tid: 1,
+				Args: map[string]uint64{
+					"demand": row.LinkDemand, "prefetch": row.LinkPrefetch,
+					"suf": row.LinkSUF, "maintenance": row.LinkMaint,
+				}},
+		)
+	}
+	doc := struct {
+		TraceEvents []interface{} `json:"traceEvents"`
+	}{TraceEvents: events}
+	return json.NewEncoder(w).Encode(doc)
+}

@@ -1,0 +1,435 @@
+// Package interference is the cross-core interference observatory: an
+// attribution layer over the shared LLC/DRAM domain that answers "who
+// hurt whom, with what kind of traffic, at what cost" for sharded
+// multicore runs.
+//
+// The Tracker rides the standard branch-on-nil probe contract: it is a
+// probe.Observer attached to the shared domain's LLC and DRAM observer
+// fields, plus a barrier hook the multicore engine calls after each
+// shared-domain advance. It is strictly read-only with respect to the
+// simulation — attaching it cannot change results or digests (the
+// multicore equivalence gate enforces bit-identity with observers on).
+//
+// Determinism: every event the Tracker consumes is emitted by the
+// shared domain, which advances serially on one goroutine in the seeded
+// deterministic drain order, and the per-core link counters it merges
+// at barriers are fixed functions of each core's deterministic private
+// execution. The cumulative matrices are therefore bit-identical across
+// GOMAXPROCS, worker counts, barrier intervals, and engines (asserted
+// in internal/multicore's determinism suite). Only the windowed
+// timeline is barrier-quantized: a window boundary is sampled at the
+// first barrier at or after it, so timelines from different barrier
+// intervals may sample slightly different cycles (the cumulative values
+// at any common cycle still agree).
+package interference
+
+import (
+	"math/bits"
+	"sync"
+
+	"secpref/internal/mem"
+	"secpref/internal/probe"
+)
+
+// Class is the provenance of a shared-domain request, the axis the
+// eviction matrix splits on.
+type Class uint8
+
+const (
+	// ClassDemand: committed-path loads and RFOs (including GhostMinion
+	// speculative probes, which carry demand kinds).
+	ClassDemand Class = iota
+	// ClassPrefetch: hardware prefetches.
+	ClassPrefetch
+	// ClassSUF: the secure commit path — on-commit writes and re-fetches
+	// the store-update filter did not suppress.
+	ClassSUF
+	// ClassMaintenance: victim writebacks and clean propagations.
+	ClassMaintenance
+
+	// NumClasses is the number of provenance classes.
+	NumClasses = int(ClassMaintenance) + 1
+)
+
+// ClassNames names the classes in Class order (export labels).
+var ClassNames = [NumClasses]string{"demand", "prefetch", "suf", "maintenance"}
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	if int(c) < NumClasses {
+		return ClassNames[c]
+	}
+	return "unknown"
+}
+
+// Classify maps a request kind to its provenance class.
+func Classify(k mem.Kind) Class {
+	switch k {
+	case mem.KindPrefetch:
+		return ClassPrefetch
+	case mem.KindCommitWrite, mem.KindRefetch:
+		return ClassSUF
+	case mem.KindWriteback:
+		return ClassMaintenance
+	}
+	return ClassDemand
+}
+
+// DefaultWindowCycles is the timeline sampling interval when ArmWindows
+// is called with zero.
+const DefaultWindowCycles mem.Cycle = 16384
+
+// cell is one (aggressor, victim) entry of the attribution matrix.
+type cell struct {
+	// evictions counts victim lines the aggressor displaced, by the
+	// aggressor's provenance class.
+	evictions [NumClasses]uint64
+	// inflicted counts victim demand misses on lines this aggressor had
+	// evicted (victim-miss inflation); pollution is the subset where the
+	// evicting fill was a prefetch.
+	inflicted uint64
+	pollution uint64
+}
+
+// Ownership and last-evictor tables pack one record per uint64 so a
+// lookup costs one cache access: the line in the high bits, the core
+// biased by one in the low byte (0 = empty slot). The evictor word
+// additionally keeps the aggressor's class below the line.
+const (
+	ownBits = 8  // own: line<<8 | core+1
+	evBits  = 16 // ev: line<<16 | (agg+1)<<8 | class
+)
+
+// dramCounters is one core's shared-DRAM activity.
+type dramCounters struct {
+	reads, writes, rowHits, rowMisses uint64
+}
+
+// Tracker is the interference observatory for one sharded run. The hot
+// half (Event) runs on the engine goroutine that advances the shared
+// domain; the exported snapshot is double-buffered and published under
+// a mutex only at window boundaries, so a live /metrics scrape never
+// races the simulation.
+type Tracker struct {
+	cores, sets, ways int
+
+	// Live attribution state — engine goroutine only. The ownership
+	// mirror is a per-set open-addressed table of packed words instead
+	// of a map: the tracker sits on the LLC's hottest events inside the
+	// engine's serial shared-domain phase, where every avoided cache
+	// miss and hash comes straight off the barrier critical path. setOf
+	// matches the cache's own set indexing and the cache evicts before
+	// it installs, so a set never holds more than `ways` resident lines
+	// and the table is exact.
+	own         []uint64 // [set*ways + slot] packed line/core; 0 = empty
+	occTot      []uint64 // per-core resident lines
+	cells       []cell   // [aggressor*cores + victim]
+	causedTot   []uint64 // per-aggressor eviction total
+	sufferedTot []uint64 // per-victim eviction total
+	inflVicTot  []uint64 // per-victim inflicted-miss total
+	pollVicTot  []uint64 // per-victim pollution-miss total
+
+	// Last-evictor memory: a direct-mapped mirror sized to the LLC
+	// (multiplicative hash of the line). A colliding newer eviction
+	// deterministically replaces an older record, so attribution of
+	// victim misses is a bounded-memory approximation; each surviving
+	// record still inflates at most one miss.
+	ev          []uint64 // packed line/aggressor/class; 0 = empty
+	evHashShift uint
+
+	dram []dramCounters
+
+	// Per-core link traffic, merged (cumulatively) at barriers; base is
+	// the warmup baseline subtracted from exports.
+	linkNow  [][mem.NumKinds]uint64
+	linkBase [][mem.NumKinds]uint64
+
+	winEvery mem.Cycle
+	winNext  mem.Cycle
+	winStart mem.Cycle
+	windows  []WindowRow
+
+	// EngineVersion stamps exports (set by the multicore engine).
+	EngineVersion string
+
+	mu  sync.Mutex
+	pub *Snapshot
+}
+
+// New builds a tracker for a shared LLC of the given geometry. sets
+// must be a power of two (it is: cache sizes are).
+func New(cores, sets, ways int) *Tracker {
+	evSize := 1
+	for evSize < sets*ways {
+		evSize <<= 1
+	}
+	return &Tracker{
+		cores:       cores,
+		sets:        sets,
+		ways:        ways,
+		own:         make([]uint64, sets*ways),
+		occTot:      make([]uint64, cores),
+		cells:       make([]cell, cores*cores),
+		causedTot:   make([]uint64, cores),
+		sufferedTot: make([]uint64, cores),
+		inflVicTot:  make([]uint64, cores),
+		pollVicTot:  make([]uint64, cores),
+		ev:          make([]uint64, evSize),
+		evHashShift: 64 - uint(bits.TrailingZeros(uint(evSize))),
+		dram:        make([]dramCounters, cores),
+		linkNow:     make([][mem.NumKinds]uint64, cores),
+		linkBase:    make([][mem.NumKinds]uint64, cores),
+	}
+}
+
+// evIdx is the last-evictor table's multiplicative hash (Fibonacci
+// constant; the shift keeps the high bits, which mix set and tag).
+func (t *Tracker) evIdx(l mem.Line) int {
+	return int((uint64(l) * 0x9E3779B97F4A7C15) >> t.evHashShift)
+}
+
+// Cores returns the tracked core count.
+func (t *Tracker) Cores() int { return t.cores }
+
+func (t *Tracker) setOf(l mem.Line) int { return int(uint64(l) & uint64(t.sets-1)) }
+
+// Event implements probe.Observer for the shared domain's LLC and DRAM
+// sites. Events from private sites are ignored (the tracker is only
+// attached to shared components, but a fanout may deliver more).
+func (t *Tracker) Event(ev probe.Event) {
+	switch ev.Site {
+	case probe.SiteLLC:
+		switch ev.Kind {
+		case probe.EvInstall:
+			t.install(ev)
+		case probe.EvEvict:
+			t.evictEv(ev)
+		case probe.EvAccess:
+			if !ev.Hit && ev.Req.IsDemand() {
+				t.demandMiss(ev)
+			}
+		case probe.EvMerge:
+			// Joining an in-flight fetch is still a miss for this core's
+			// latency; attribute it the same way.
+			if ev.Req.IsDemand() {
+				t.demandMiss(ev)
+			}
+		}
+	case probe.SiteDRAM:
+		if ev.Kind == probe.EvAccess {
+			t.dramAccess(ev)
+		}
+	}
+}
+
+// install tracks line ownership: the installing core becomes the line's
+// owner (a refill of a present line transfers ownership first).
+func (t *Tracker) install(ev probe.Event) {
+	c := ev.Core
+	if c >= t.cores || c < 0 {
+		return
+	}
+	word := uint64(ev.Line)<<ownBits | uint64(c+1)
+	base := t.setOf(ev.Line) * t.ways
+	free := -1
+	for i := base; i < base+t.ways; i++ {
+		w := t.own[i]
+		if w == 0 {
+			if free < 0 {
+				free = i
+			}
+			continue
+		}
+		if w>>ownBits == uint64(ev.Line) {
+			t.occTot[w&(1<<ownBits-1)-1]--
+			t.own[i] = word
+			t.occTot[c]++
+			return
+		}
+	}
+	if free < 0 {
+		// Full set with the line absent cannot happen while setOf matches
+		// the cache's indexing (the cache evicts before installing); if a
+		// future geometry breaks that, drop rather than corrupt occupancy.
+		return
+	}
+	t.own[free] = word
+	t.occTot[c]++
+}
+
+// evictEv charges the eviction to the (aggressor, victim, class) cell
+// and remembers the evictor so the victim's next miss on the line can
+// be attributed.
+func (t *Tracker) evictEv(ev probe.Event) {
+	agg := ev.Core
+	if agg < 0 || agg >= t.cores {
+		return
+	}
+	base := t.setOf(ev.Line) * t.ways
+	victim := -1
+	for i := base; i < base+t.ways; i++ {
+		if w := t.own[i]; w != 0 && w>>ownBits == uint64(ev.Line) {
+			victim = int(w&(1<<ownBits-1)) - 1
+			t.own[i] = 0
+			break
+		}
+	}
+	if victim < 0 {
+		// A line installed before the tracker attached; ownership
+		// unknown, occupancy untouched.
+		return
+	}
+	t.occTot[victim]--
+
+	class := Classify(ev.Req)
+	t.cells[agg*t.cores+victim].evictions[class]++
+	t.causedTot[agg]++
+	t.sufferedTot[victim]++
+	t.ev[t.evIdx(ev.Line)] = uint64(ev.Line)<<evBits | uint64(agg+1)<<8 | uint64(class)
+}
+
+// demandMiss attributes a victim's LLC demand miss to the core that
+// last evicted the line (victim-miss inflation; the prefetch-caused
+// subset is pollution). Each eviction inflates at most one miss.
+func (t *Tracker) demandMiss(ev probe.Event) {
+	ei := t.evIdx(ev.Line)
+	w := t.ev[ei]
+	if w == 0 || w>>evBits != uint64(ev.Line) {
+		return
+	}
+	t.ev[ei] = 0
+	agg := int(w>>8&0xff) - 1
+	victim := ev.Core
+	if victim < 0 || victim >= t.cores {
+		return
+	}
+	c := &t.cells[agg*t.cores+victim]
+	c.inflicted++
+	t.inflVicTot[victim]++
+	if Class(w&0xff) == ClassPrefetch {
+		c.pollution++
+		t.pollVicTot[victim]++
+	}
+}
+
+// dramAccess tallies per-core DRAM bandwidth and row-buffer behaviour.
+func (t *Tracker) dramAccess(ev probe.Event) {
+	c := ev.Core
+	if c < 0 || c >= t.cores {
+		return
+	}
+	d := &t.dram[c]
+	if ev.Req == mem.KindWriteback || ev.Req == mem.KindCommitWrite {
+		d.writes++
+	} else {
+		d.reads++
+	}
+	if ev.Hit {
+		d.rowHits++
+	} else {
+		d.rowMisses++
+	}
+}
+
+// MergeLink overwrites one core's cumulative link-traffic counters.
+// The multicore engine calls it at barrier boundaries, in core order,
+// after the worker join (the happens-before edge that makes the core
+// goroutine's writes visible) — the deterministic merge point the
+// observatory contract requires.
+func (t *Tracker) MergeLink(core int, counts [mem.NumKinds]uint64) {
+	t.linkNow[core] = counts
+}
+
+// ArmWindows starts the barrier-quantized timeline: a cumulative
+// per-core sample is recorded (and the export snapshot republished) at
+// the first Tick at or after each boundary. every == 0 selects
+// DefaultWindowCycles.
+func (t *Tracker) ArmWindows(now mem.Cycle, every mem.Cycle) {
+	if every == 0 {
+		every = DefaultWindowCycles
+	}
+	t.winEvery = every
+	t.winStart = now
+	t.winNext = now + every
+}
+
+// ResetCounters zeroes the attribution counters at the warmup boundary
+// while keeping the architectural mirrors (line ownership, occupancy):
+// resident lines persist across the boundary, but the matrix should
+// count only measured-phase interference. Link counters keep
+// accumulating in the links; the current values become the subtracted
+// baseline. The timeline restarts relative to now.
+func (t *Tracker) ResetCounters(now mem.Cycle) {
+	for i := range t.cells {
+		t.cells[i] = cell{}
+	}
+	for i := 0; i < t.cores; i++ {
+		t.causedTot[i] = 0
+		t.sufferedTot[i] = 0
+		t.inflVicTot[i] = 0
+		t.pollVicTot[i] = 0
+		t.dram[i] = dramCounters{}
+		t.linkBase[i] = t.linkNow[i]
+	}
+	t.windows = t.windows[:0]
+	if t.winEvery != 0 {
+		t.winStart = now
+		t.winNext = now + t.winEvery
+	}
+}
+
+// Tick is the barrier hook: the engine calls it after every shared-
+// domain advance (every cycle on the lockstep reference engine). It
+// records due timeline windows and republishes the export snapshot.
+func (t *Tracker) Tick(now mem.Cycle) {
+	if t.winEvery == 0 || now < t.winNext {
+		return
+	}
+	t.record(now)
+	for now >= t.winNext {
+		t.winNext += t.winEvery
+	}
+	t.publish(now)
+}
+
+// Finish records the final partial window and publishes the snapshot.
+func (t *Tracker) Finish(now mem.Cycle) {
+	if t.winEvery != 0 && (len(t.windows) == 0 || t.windows[len(t.windows)-1].Cycle != uint64(now-t.winStart)) {
+		t.record(now)
+	}
+	t.publish(now)
+}
+
+// record appends one cumulative per-core timeline row per core.
+func (t *Tracker) record(now mem.Cycle) {
+	for c := 0; c < t.cores; c++ {
+		link := t.linkDelta(c)
+		t.windows = append(t.windows, WindowRow{
+			Cycle:        uint64(now - t.winStart),
+			Core:         c,
+			OccLines:     t.occTot[c],
+			EvCaused:     t.causedTot[c],
+			EvSuffered:   t.sufferedTot[c],
+			Inflicted:    t.inflVicTot[c],
+			Pollution:    t.pollVicTot[c],
+			DRAMReads:    t.dram[c].reads,
+			DRAMWrites:   t.dram[c].writes,
+			RowHits:      t.dram[c].rowHits,
+			RowMisses:    t.dram[c].rowMisses,
+			LinkDemand:   link[ClassDemand],
+			LinkPrefetch: link[ClassPrefetch],
+			LinkSUF:      link[ClassSUF],
+			LinkMaint:    link[ClassMaintenance],
+		})
+	}
+}
+
+// linkDelta folds one core's baseline-adjusted link counters by class.
+func (t *Tracker) linkDelta(c int) [NumClasses]uint64 {
+	var out [NumClasses]uint64
+	for k := 0; k < mem.NumKinds; k++ {
+		d := t.linkNow[c][k] - t.linkBase[c][k]
+		out[Classify(mem.Kind(k))] += d
+	}
+	return out
+}

@@ -1,0 +1,282 @@
+package interference
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"secpref/internal/mem"
+	"secpref/internal/probe"
+)
+
+func install(t *Tracker, core int, line mem.Line, kind mem.Kind) {
+	t.Event(probe.Event{Kind: probe.EvInstall, Site: probe.SiteLLC, Core: core, Line: line, Req: kind})
+}
+
+func evict(t *Tracker, core int, line mem.Line, kind mem.Kind) {
+	t.Event(probe.Event{Kind: probe.EvEvict, Site: probe.SiteLLC, Core: core, Line: line, Req: kind})
+}
+
+func miss(t *Tracker, core int, line mem.Line) {
+	t.Event(probe.Event{Kind: probe.EvAccess, Site: probe.SiteLLC, Core: core, Line: line, Req: mem.KindLoad})
+}
+
+func TestClassify(t *testing.T) {
+	cases := map[mem.Kind]Class{
+		mem.KindLoad:        ClassDemand,
+		mem.KindRFO:         ClassDemand,
+		mem.KindPrefetch:    ClassPrefetch,
+		mem.KindCommitWrite: ClassSUF,
+		mem.KindRefetch:     ClassSUF,
+		mem.KindWriteback:   ClassMaintenance,
+	}
+	for k, want := range cases {
+		if got := Classify(k); got != want {
+			t.Errorf("Classify(%s) = %s, want %s", k, got, want)
+		}
+	}
+}
+
+// TestMatrixAttribution walks the core scenario: core 1's prefetch
+// evicts core 0's line, core 0 then misses on it — one eviction in the
+// (1,0,prefetch) cell, one inflicted miss, one pollution miss.
+func TestMatrixAttribution(t *testing.T) {
+	tr := New(2, 64, 8)
+
+	install(tr, 0, 0x100, mem.KindLoad)
+	if got := tr.occTot[0]; got != 1 {
+		t.Fatalf("occupancy after install = %d, want 1", got)
+	}
+
+	evict(tr, 1, 0x100, mem.KindPrefetch)
+	if got := tr.occTot[0]; got != 0 {
+		t.Fatalf("occupancy after evict = %d, want 0", got)
+	}
+	c := tr.cells[1*2+0]
+	if c.evictions[ClassPrefetch] != 1 {
+		t.Fatalf("evictions[prefetch] = %d, want 1", c.evictions[ClassPrefetch])
+	}
+
+	miss(tr, 0, 0x100)
+	c = tr.cells[1*2+0]
+	if c.inflicted != 1 || c.pollution != 1 {
+		t.Fatalf("inflicted=%d pollution=%d, want 1/1", c.inflicted, c.pollution)
+	}
+
+	// A second miss on the same line is not re-attributed: one eviction
+	// inflates at most one miss.
+	miss(tr, 0, 0x100)
+	if c := tr.cells[1*2+0]; c.inflicted != 1 {
+		t.Fatalf("double-counted inflicted miss: %d", c.inflicted)
+	}
+}
+
+// TestDemandEvictionNotPollution: a demand-caused eviction counts as
+// inflicted but never as pollution.
+func TestDemandEvictionNotPollution(t *testing.T) {
+	tr := New(2, 64, 8)
+	install(tr, 0, 0x200, mem.KindLoad)
+	evict(tr, 1, 0x200, mem.KindLoad)
+	miss(tr, 0, 0x200)
+	c := tr.cells[1*2+0]
+	if c.evictions[ClassDemand] != 1 || c.inflicted != 1 || c.pollution != 0 {
+		t.Fatalf("demand eviction: ev=%d inflicted=%d pollution=%d", c.evictions[ClassDemand], c.inflicted, c.pollution)
+	}
+}
+
+// TestOwnershipTransfer: re-installing a present line moves occupancy
+// to the new owner; the subsequent eviction charges the new owner as
+// victim.
+func TestOwnershipTransfer(t *testing.T) {
+	tr := New(2, 64, 8)
+	install(tr, 0, 0x300, mem.KindLoad)
+	install(tr, 1, 0x300, mem.KindLoad)
+	if tr.occTot[0] != 0 || tr.occTot[1] != 1 {
+		t.Fatalf("occupancy after transfer: %d/%d, want 0/1", tr.occTot[0], tr.occTot[1])
+	}
+	evict(tr, 0, 0x300, mem.KindWriteback)
+	if c := tr.cells[0*2+1]; c.evictions[ClassMaintenance] != 1 {
+		t.Fatalf("maintenance eviction not charged to (0,1): %+v", c)
+	}
+}
+
+// TestUnknownLineIgnored: evicting a line the tracker never saw
+// installed leaves all state untouched (pre-attachment lines).
+func TestUnknownLineIgnored(t *testing.T) {
+	tr := New(2, 64, 8)
+	evict(tr, 1, 0x400, mem.KindLoad)
+	for i, c := range tr.cells {
+		if c != (cell{}) {
+			t.Fatalf("cell %d touched by unknown-line eviction", i)
+		}
+	}
+}
+
+func TestDRAMAttribution(t *testing.T) {
+	tr := New(2, 64, 8)
+	tr.Event(probe.Event{Kind: probe.EvAccess, Site: probe.SiteDRAM, Core: 0, Req: mem.KindLoad, Hit: true})
+	tr.Event(probe.Event{Kind: probe.EvAccess, Site: probe.SiteDRAM, Core: 1, Req: mem.KindWriteback, Hit: false})
+	if tr.dram[0].reads != 1 || tr.dram[0].rowHits != 1 {
+		t.Fatalf("core0 dram %+v", tr.dram[0])
+	}
+	if tr.dram[1].writes != 1 || tr.dram[1].rowMisses != 1 {
+		t.Fatalf("core1 dram %+v", tr.dram[1])
+	}
+}
+
+// TestResetKeepsOccupancy: the warmup-boundary reset zeroes the matrix
+// and DRAM counters but keeps the architectural occupancy mirror.
+func TestResetKeepsOccupancy(t *testing.T) {
+	tr := New(2, 64, 8)
+	install(tr, 0, 0x500, mem.KindLoad)
+	install(tr, 0, 0x501, mem.KindLoad)
+	evict(tr, 1, 0x500, mem.KindPrefetch)
+	tr.MergeLink(1, [mem.NumKinds]uint64{42})
+	tr.ResetCounters(1000)
+	if tr.occTot[0] != 1 {
+		t.Fatalf("occupancy lost across reset: %d", tr.occTot[0])
+	}
+	if tr.cells[1*2+0] != (cell{}) {
+		t.Fatal("matrix survived reset")
+	}
+	if d := tr.linkDelta(1); d[ClassDemand] != 0 {
+		t.Fatalf("link baseline not rebased: %v", d)
+	}
+	tr.MergeLink(1, [mem.NumKinds]uint64{44})
+	if d := tr.linkDelta(1); d[ClassDemand] != 2 {
+		t.Fatalf("post-reset link delta = %d, want 2", d[ClassDemand])
+	}
+}
+
+func TestWindowsAndSnapshot(t *testing.T) {
+	tr := New(2, 64, 8)
+	tr.EngineVersion = "test-engine"
+	tr.ArmWindows(0, 100)
+	install(tr, 0, 0x600, mem.KindLoad)
+	evict(tr, 1, 0x600, mem.KindPrefetch)
+	miss(tr, 0, 0x600)
+	tr.Tick(50) // before the boundary: nothing published
+	if tr.Snapshot() != nil {
+		t.Fatal("snapshot published before first window boundary")
+	}
+	tr.Tick(105) // first barrier past the boundary
+	s := tr.Snapshot()
+	if s == nil {
+		t.Fatal("no snapshot after window boundary")
+	}
+	if len(s.Windows) != 2 {
+		t.Fatalf("window rows = %d, want 2 (one per core)", len(s.Windows))
+	}
+	if s.Windows[1].Core != 1 || s.Windows[1].EvCaused != 1 {
+		t.Fatalf("core1 window %+v", s.Windows[1])
+	}
+	tr.Finish(200)
+	s = tr.Snapshot()
+	if len(s.Windows) != 4 {
+		t.Fatalf("final window rows = %d, want 4", len(s.Windows))
+	}
+	if s.EngineVersion != "test-engine" || s.Cores != 2 {
+		t.Fatalf("snapshot header %+v", s)
+	}
+}
+
+func TestExports(t *testing.T) {
+	tr := New(2, 64, 8)
+	tr.EngineVersion = "test-engine"
+	tr.ArmWindows(0, 100)
+	install(tr, 0, 0x700, mem.KindLoad)
+	evict(tr, 1, 0x700, mem.KindPrefetch)
+	miss(tr, 0, 0x700)
+	tr.Event(probe.Event{Kind: probe.EvAccess, Site: probe.SiteDRAM, Core: 1, Req: mem.KindLoad, Hit: true})
+	tr.MergeLink(0, [mem.NumKinds]uint64{3, 0, 2, 1, 0, 0})
+	tr.Finish(500)
+	s := tr.Snapshot()
+
+	var jb bytes.Buffer
+	if err := s.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(jb.Bytes(), &back); err != nil {
+		t.Fatalf("JSON round-trip: %v", err)
+	}
+	if len(back.Cells) != 4 || back.Cells[2].Evictions[ClassPrefetch] != 1 {
+		t.Fatalf("JSON cells %+v", back.Cells)
+	}
+
+	var cb bytes.Buffer
+	if err := s.WriteCSV(&cb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(cb.String()), "\n")
+	if len(lines) != 5 { // header + 4 cells
+		t.Fatalf("CSV lines = %d, want 5:\n%s", len(lines), cb.String())
+	}
+	if !strings.HasPrefix(lines[0], "aggressor,victim,demand,prefetch,suf,maintenance") {
+		t.Fatalf("CSV header %q", lines[0])
+	}
+
+	var pb bytes.Buffer
+	if err := tr.WritePrometheus(&pb); err != nil {
+		t.Fatal(err)
+	}
+	prom := pb.String()
+	for _, want := range []string{
+		`secpref_interference_evictions_total{aggressor="1",victim="0",class="prefetch"} 1`,
+		`secpref_interference_inflicted_total{aggressor="1",victim="0"} 1`,
+		`secpref_interference_pollution_total{aggressor="1",victim="0"} 1`,
+		`secpref_interference_occupancy_lines{core="0"}`,
+		`secpref_interference_dram_reads_total{core="1"} 1`,
+		`secpref_interference_link_requests_total{core="0",class="demand"} 3`,
+		`secpref_interference_engine_info{version="test-engine"} 1`,
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("Prometheus output missing %q", want)
+		}
+	}
+
+	var tb bytes.Buffer
+	if err := s.WriteChromeTrace(&tb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Pid  int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(tb.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace not valid JSON: %v", err)
+	}
+	pids := map[int]bool{}
+	var procs int
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			procs++
+		}
+		if ev.Ph == "C" {
+			pids[ev.Pid] = true
+		}
+	}
+	if procs != 2 {
+		t.Errorf("process_name metadata = %d, want one per core", procs)
+	}
+	if len(pids) != 2 {
+		t.Errorf("counter tracks span %d pids, want 2 (per-core tracks)", len(pids))
+	}
+}
+
+// TestEmptyTrackerPrometheus: a tracker that never published writes
+// nothing (live /metrics before the first window).
+func TestEmptyTrackerPrometheus(t *testing.T) {
+	tr := New(2, 64, 8)
+	var b bytes.Buffer
+	if err := tr.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("unpublished tracker wrote %q", b.String())
+	}
+}

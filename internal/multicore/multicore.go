@@ -25,8 +25,10 @@ import (
 	"fmt"
 	"runtime"
 
+	"secpref/internal/interference"
 	"secpref/internal/mem"
 	"secpref/internal/observatory"
+	"secpref/internal/probe"
 	"secpref/internal/sim"
 	"secpref/internal/trace"
 )
@@ -79,6 +81,28 @@ type Probes struct {
 	// min(GOMAXPROCS, Cores), 1 runs cores inline on the calling
 	// goroutine (identical results either way — that is the point).
 	Workers int
+	// Interference attaches the cross-core interference observatory to
+	// the shared LLC/DRAM. The engine constructs the tracker (it knows
+	// the LLC geometry); read it back via Engine.Interference or the
+	// Result snapshot.
+	Interference bool
+	// InterferenceWindow is the observatory's timeline interval in
+	// cycles; zero means interference.DefaultWindowCycles.
+	InterferenceWindow mem.Cycle
+	// SharedObserver receives the shared domain's LLC and DRAM events
+	// (Core-stamped). It runs on the serial shared-domain goroutine, so
+	// a single observer (e.g. a probe.Tracer) is safe without locking —
+	// unlike per-core observers, which would race across workers.
+	SharedObserver probe.Observer
+	// Windows holds per-core window observers (index = core; nil
+	// entries sample nothing). Each core samples its private domain
+	// only — shared-domain attribution is the interference
+	// observatory's job — at WindowInstrs boundaries of the measured
+	// phase.
+	Windows []probe.WindowObserver
+	// WindowInstrs is the per-core sampling interval in retired
+	// instructions; zero means sim.DefaultWindowInstrs.
+	WindowInstrs uint64
 }
 
 // Result aggregates the per-core results of one mix.
@@ -91,6 +115,9 @@ type Result struct {
 	// (sim.MulticoreComponentNames order) — the bit-identity witness
 	// the determinism suite and the cross-engine gate compare.
 	FinalDigests []uint64
+	// Interference is the observatory snapshot at run end (nil unless
+	// Probes.Interference was set).
+	Interference *interference.Snapshot
 }
 
 // WeightedSpeedup computes sum_i(IPC_i / IPCalone_i) given the
@@ -157,6 +184,13 @@ type Engine struct {
 	// shared domain; they merge into finalProfile when the run ends.
 	profiles     []*observatory.Profile
 	finalProfile *observatory.Profile
+
+	// tracker is the interference observatory (nil when not requested);
+	// windows/winEvery hold the per-core window sampling arrangement,
+	// armed at the warmup boundary.
+	tracker  *interference.Tracker
+	windows  []probe.WindowObserver
+	winEvery uint64
 
 	done   bool
 	err    error
@@ -242,7 +276,60 @@ func NewEngine(cfg Config, mix []trace.Source, p Probes) (*Engine, error) {
 		e.profiles = append(e.profiles, shProf)
 		e.finalProfile = p.Profile
 	}
+	if p.Interference {
+		geo := sys.Shared.LLC().Config()
+		tr := interference.New(cfg.Cores, geo.Sets(), geo.Ways)
+		tr.EngineVersion = sim.EngineVersion
+		tr.ArmWindows(0, p.InterferenceWindow)
+		e.tracker = tr
+	}
+	if e.tracker != nil || p.SharedObserver != nil {
+		// Shared-domain observers only: the LLC and DRAM advance serially
+		// on the engine goroutine, so no locking is needed and the seeded
+		// drain order makes the event stream — hence the matrix —
+		// deterministic.
+		var trObs probe.Observer
+		if e.tracker != nil {
+			trObs = e.tracker
+		}
+		obs := probe.Fanout(trObs, p.SharedObserver)
+		sys.Shared.LLC().Obs = obs
+		sys.Shared.DRAM().Obs = obs
+	}
+	if len(p.Windows) > 0 {
+		e.windows = p.Windows
+		e.winEvery = p.WindowInstrs
+		if cfg.Single.WarmupInstrs == 0 {
+			e.armWindows()
+		}
+	}
 	return e, nil
+}
+
+// Interference returns the engine's observatory tracker (nil unless
+// requested). Its published snapshot is safe to read — or hang off a
+// live /metrics handler — while the run is in flight.
+func (e *Engine) Interference() *interference.Tracker { return e.tracker }
+
+// armWindows starts per-core interval sampling; called at the warmup
+// boundary (or construction when there is no warmup) so windows cover
+// the measured phase.
+func (e *Engine) armWindows() {
+	for i, m := range e.sys.Cores {
+		if i < len(e.windows) && e.windows[i] != nil {
+			m.ArmCoreWindows(i, e.windows[i], e.winEvery)
+		}
+	}
+}
+
+// mergeLink folds every core's cumulative link-traffic counters into
+// the tracker. Only called at barriers, after the worker join: the
+// join's happens-before edge makes the core goroutines' counter writes
+// visible, and the fixed core order keeps the merge deterministic.
+func (e *Engine) mergeLink() {
+	for i, l := range e.sys.Links {
+		e.tracker.MergeLink(i, l.KindCounts())
+	}
 }
 
 // BlackHoleCore makes the shared domain silently drop core i's
@@ -417,6 +504,10 @@ func (e *Engine) stepEpoch(limit mem.Cycle) error {
 	e.sys.Shared.Advance(b)
 	e.now = b
 
+	if e.tracker != nil {
+		e.mergeLink()
+		e.tracker.Tick(b)
+	}
 	if e.digSink != nil && e.now == e.digNext {
 		e.emitDigests()
 	}
@@ -438,6 +529,10 @@ func (e *Engine) stepLockstep() error {
 	e.sys.Shared.LockstepCycle(u)
 	e.now = u
 
+	if e.tracker != nil {
+		e.mergeLink()
+		e.tracker.Tick(u)
+	}
 	for i, m := range e.sys.Cores {
 		if e.reached[i] == mem.NoEvent && m.Instructions() >= e.target {
 			e.reached[i] = u
@@ -494,6 +589,11 @@ func (e *Engine) finishPhase() {
 		for _, m := range e.sys.Cores {
 			m.ResetStats()
 		}
+		if e.tracker != nil {
+			e.mergeLink()
+			e.tracker.ResetCounters(e.now)
+		}
+		e.armWindows()
 		e.phase = 1
 		e.target = uint64(e.cfg.Single.MaxInstrs)
 		e.measureStart = e.now
@@ -521,9 +621,15 @@ func (e *Engine) emitDigests() {
 func (e *Engine) result() *Result {
 	res := &Result{Cycles: uint64(e.cycles)}
 	for i, m := range e.sys.Cores {
+		m.FlushCoreWindows()
 		res.PerCore = append(res.PerCore, m.Snapshot(e.mix[i].Name(), e.cycles))
 	}
 	res.FinalDigests = e.StateDigests(nil)
+	if e.tracker != nil {
+		e.mergeLink()
+		e.tracker.Finish(e.now)
+		res.Interference = e.tracker.Snapshot()
+	}
 	if e.finalProfile != nil {
 		for _, p := range e.profiles {
 			e.finalProfile.Merge(p)

@@ -176,6 +176,13 @@ type Event struct {
 	Kind  EventKind
 	Site  Site
 	Cycle mem.Cycle
+	// Core is the index of the core that originated the triggering
+	// request (mem.Request.Core). Single-core runs and traffic with no
+	// originating request carry 0. For EvEvict it identifies the
+	// aggressor whose fill forced the eviction, not the victim line's
+	// owner — interference attribution pairs it with its own line-owner
+	// bookkeeping.
+	Core int
 	// Seq is the program-order timestamp of the triggering instruction
 	// (mem.Request.Timestamp); it is the identity that chains one
 	// request's events across sites. Maintenance traffic carries 0.
@@ -217,6 +224,9 @@ type WindowObserver interface {
 // All fields count from the start of the measured phase, so consecutive
 // samples difference into per-interval rates.
 type Sample struct {
+	// Core identifies the emitting core in multicore runs (0 in
+	// single-core runs, where there is only one series).
+	Core int `json:"core"`
 	// Cycle and Instructions locate the boundary.
 	Cycle        uint64 `json:"cycle"`
 	Instructions uint64 `json:"instructions"`

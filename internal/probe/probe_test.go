@@ -174,8 +174,8 @@ func TestTracerChromeExport(t *testing.T) {
 	if span != 1 {
 		t.Errorf("spans %d, want 1 (issue->fill pair)", span)
 	}
-	if meta != NumSites {
-		t.Errorf("thread metadata %d, want %d", meta, NumSites)
+	if meta != NumSites+1 {
+		t.Errorf("track metadata %d, want %d (process_name + per-site thread_name)", meta, NumSites+1)
 	}
 	if instants != 4 {
 		t.Errorf("instants %d, want 4 (GM/L1D/DRAM accesses + GM commit)", instants)

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // Tracer records sampled request-lifecycle event chains — issue → GM
@@ -93,9 +94,12 @@ type chromeTrace struct {
 }
 
 // WriteChromeTrace exports the ring as Chrome trace-event JSON: one
-// lane (tid) per site, an instant event per recorded occurrence, and a
-// duration span per sampled load from its core issue to its core fill,
-// so the timeline shows each load's walk down the hierarchy.
+// process (pid) per core, one lane (tid) per site within it, an
+// instant event per recorded occurrence, and a duration span per
+// sampled load from its core issue to its core fill, so the timeline
+// shows each load's walk down the hierarchy. Single-core runs collapse
+// to one process (core 0); multicore exports get one named process row
+// per core instead of interleaving every core into the same track.
 func (t *Tracer) WriteChromeTrace(w io.Writer, label string) error {
 	evs := t.Events()
 	out := chromeTrace{
@@ -103,11 +107,29 @@ func (t *Tracer) WriteChromeTrace(w io.Writer, label string) error {
 		OtherData:       map[string]any{"label": label, "time_unit": "1 core cycle = 1us", "dropped_events": t.dropped},
 		TraceEvents:     make([]chromeEvent, 0, len(evs)+NumSites),
 	}
-	for s := 0; s < NumSites; s++ {
+	seen := map[int]bool{}
+	var cores []int
+	for _, ev := range evs {
+		if !seen[ev.Core] {
+			seen[ev.Core] = true
+			cores = append(cores, ev.Core)
+		}
+	}
+	if len(cores) == 0 {
+		cores = append(cores, 0)
+	}
+	sort.Ints(cores)
+	for _, c := range cores {
 		out.TraceEvents = append(out.TraceEvents, chromeEvent{
-			Name: "thread_name", Phase: "M", PID: 0, TID: s,
-			Args: map[string]any{"name": Site(s).String()},
+			Name: "process_name", Phase: "M", PID: c,
+			Args: map[string]any{"name": fmt.Sprintf("core%d", c)},
 		})
+		for s := 0; s < NumSites; s++ {
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "thread_name", Phase: "M", PID: c, TID: s,
+				Args: map[string]any{"name": Site(s).String()},
+			})
+		}
 	}
 	issued := make(map[uint64]Event, 64) // seq -> core issue event
 	for _, ev := range evs {
@@ -125,7 +147,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer, label string) error {
 				}
 				out.TraceEvents = append(out.TraceEvents, chromeEvent{
 					Name: fmt.Sprintf("load seq=%d", ev.Seq), Phase: "X",
-					TS: uint64(is.Cycle), Dur: dur, PID: 0, TID: int(SiteCore),
+					TS: uint64(is.Cycle), Dur: dur, PID: ev.Core, TID: int(SiteCore),
 					Args: map[string]any{"line": fmt.Sprintf("%#x", uint64(ev.Line)), "served_by": ev.Level.String()},
 				})
 				delete(issued, ev.Seq)
@@ -135,7 +157,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer, label string) error {
 		ce := chromeEvent{
 			Name:  fmt.Sprintf("%s %s", ev.Site, ev.Kind),
 			Phase: "i", Scope: "t",
-			TS: uint64(ev.Cycle), PID: 0, TID: int(ev.Site),
+			TS: uint64(ev.Cycle), PID: ev.Core, TID: int(ev.Site),
 			Args: map[string]any{
 				"seq":  ev.Seq,
 				"line": fmt.Sprintf("%#x", uint64(ev.Line)),

@@ -104,6 +104,7 @@ func (m *Machine) sampleWindow() {
 	}
 	home := m.homeCache()
 	s := probe.Sample{
+		Core:           m.winCore,
 		Cycle:          uint64(m.now - m.winStart),
 		Instructions:   m.core.Stats.Instructions,
 		Loads:          m.core.Stats.Loads,
@@ -118,12 +119,21 @@ func (m *Machine) sampleWindow() {
 		CommitGMHits:   m.core.Stats.CommitGMHits,
 		CommitGMMisses: m.core.Stats.CommitGMMisses,
 		SUFDrops:       m.core.Stats.SUFDrops,
-		DRAMReads:      m.mem.Stats.Reads,
 	}
 	// Prefetch fills aggregate from the home level down, matching
-	// Result.PrefAccuracy (prefetchers legitimately fill deeper).
+	// Result.PrefAccuracy (prefetchers legitimately fill deeper). In a
+	// sharded system the LLC and DRAM belong to the shared domain, which
+	// advances on another goroutine mid-epoch: the per-core sample stops
+	// at the private L2 and leaves DRAMReads zero — per-core
+	// shared-domain activity is the interference observatory's job.
 	levels := [...]*stats.CacheStats{&m.l1d.Stats, &m.l2.Stats, &m.llc.Stats}
-	for _, cs := range levels[int(home.Level()):] {
+	n := len(levels)
+	if m.link != nil {
+		n-- // shared LLC excluded from per-core samples
+	} else {
+		s.DRAMReads = m.mem.Stats.Reads
+	}
+	for _, cs := range levels[int(home.Level()):n] {
 		s.PrefFilled += cs.PrefFilled
 		s.PrefUseful += cs.PrefUseful
 		s.PrefLate += cs.PrefLate

@@ -74,10 +74,18 @@ type ownerSlot struct {
 // and in-appends. The two sides run in alternating phases separated by
 // barriers, so no field needs a lock.
 type CoreLink struct {
+	core   int // owning core's index, stamped onto outbound requests
 	lat    mem.Cycle
 	shared *SharedDomain // for the response-visibility stamp
 
 	now mem.Cycle // core-domain clock, stamped onto outbound requests
+
+	// kindCounts tallies outbound requests by mem.Kind — the per-core
+	// shared-link traffic the interference observatory samples at
+	// barriers. Measurement only: deliberately excluded from StateDigest
+	// (it is not architectural state), written by the core's goroutine
+	// during epochs and read serially at barrier boundaries.
+	kindCounts [mem.NumKinds]uint64
 
 	out     []linkEntry // issued by L2, awaiting the deterministic drain
 	outHead int
@@ -92,11 +100,24 @@ type CoreLink struct {
 // buffers without bound, so issue-side back-pressure is applied at
 // drain time (head-of-line, per core) instead of at the L2's forward
 // port. The request is stamped with the core-domain cycle it was
-// issued.
+// issued and with the owning core's index — the single choke point
+// every request entering the shared domain passes through, so all
+// shared-domain traffic (and its children: MSHR fetches, victim
+// writebacks) carries its originating core. Core is not digested
+// (observatory.DigestRequest excludes it), so the stamp cannot perturb
+// determinism digests.
 func (l *CoreLink) Enqueue(r *mem.Request) bool {
+	r.Core = l.core
+	l.kindCounts[r.Kind]++
 	l.out = append(l.out, linkEntry{at: l.now, req: r})
 	return true
 }
+
+// KindCounts snapshots the cumulative outbound request tally by
+// mem.Kind. Only meaningful between core phases (barrier boundaries),
+// where the happens-before edge from the worker join makes the
+// core-goroutine writes visible.
+func (l *CoreLink) KindCounts() [mem.NumKinds]uint64 { return l.kindCounts }
 
 // headAt peeks the oldest undrained outbound request's issue cycle.
 func (l *CoreLink) headAt() (mem.Cycle, bool) {
@@ -245,6 +266,10 @@ type SharedDomain struct {
 
 // LLC exposes the shared cache (diagnostics and stats snapshots).
 func (s *SharedDomain) LLC() *cache.Cache { return s.llc }
+
+// DRAM exposes the shared memory channel (observer attachment and
+// stats snapshots).
+func (s *SharedDomain) DRAM() *dram.DRAM { return s.dram }
 
 // Now returns the cycle the shared domain has completed.
 func (s *SharedDomain) Now() mem.Cycle { return s.now }
@@ -470,7 +495,22 @@ func BuildSharded(cfg Config, cores int, mix []trace.Source, linkLat mem.Cycle, 
 		linkLat = DefaultLinkLatency
 	}
 	channel := dram.New(cfg.DRAM)
-	llc := cache.New(cache.LLCConfig(cores), channel)
+	// The shared LLC scales the per-core bank config by the core count:
+	// capacity, MSHRs, queues, and ports all multiply (with the default
+	// cache.LLCConfig(1) bank this reproduces cache.LLCConfig(cores)
+	// exactly), while associativity, latency, and the prefetch port stay
+	// per-bank. Shrinking cfg.LLC therefore shrinks the shared cache —
+	// the contention tests rely on that.
+	llcCfg := cfg.LLC
+	llcCfg.SizeKiB *= cores
+	llcCfg.MSHRs *= cores
+	llcCfg.RQSize *= cores
+	llcCfg.WQSize *= cores
+	llcCfg.PQSize *= cores
+	llcCfg.MaxReads *= cores
+	llcCfg.MaxWrites *= cores
+	llcCfg.MaxFills *= cores
+	llc := cache.New(llcCfg, channel)
 	sharedPool := &mem.RequestPool{}
 	channel.SetPool(sharedPool)
 	llc.SetPool(sharedPool)
@@ -492,7 +532,7 @@ func BuildSharded(cfg Config, cores int, mix []trace.Source, linkLat mem.Cycle, 
 		// budget keep running (and keep contending for the shared LLC
 		// and DRAM) until the slowest core finishes, as in ChampSim.
 		src := trace.Repeat(trace.Offset(mix[i], mem.Addr(i)<<40), 1<<62)
-		link := &CoreLink{lat: linkLat, shared: shared}
+		link := &CoreLink{core: i, lat: linkLat, shared: shared}
 		pool := &mem.RequestPool{}
 		m := &Machine{cfg: cfg, pool: pool}
 		m.mem = channel
@@ -545,6 +585,21 @@ func (m *Machine) StepCore(u mem.Cycle) {
 	m.l1d.Tick(u)
 	m.l2.Tick(u)
 	m.link.Inject(u)
+	m.checkCoreWindow()
+}
+
+// checkCoreWindow samples the per-core window series when the retired
+// instruction count crossed the next boundary. Both sharded engines
+// call it at every visited cycle; instructions only retire on core
+// ticks, so the crossing cycle is always visited and the sample point
+// is engine-, worker-, and interval-invariant.
+func (m *Machine) checkCoreWindow() {
+	if m.winObs != nil && m.core.Stats.Instructions >= m.winNext {
+		m.sampleWindow()
+		for m.core.Stats.Instructions >= m.winNext {
+			m.winNext += m.winEvery
+		}
+	}
 }
 
 // AttachShardProfile arms attribution profiling with the multicore rank
@@ -640,6 +695,7 @@ func (m *Machine) AdvanceCore(to mem.Cycle, target uint64) (mem.Cycle, bool) {
 			next, clamped = to, true
 		}
 		m.advancePrivateTo(next)
+		m.checkCoreWindow()
 		if m.prof != nil {
 			m.prof.Advance(clamped)
 		}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"secpref/internal/mem"
+	"secpref/internal/probe"
 )
 
 // CoreSystem is one core's private slice of a multi-core system: the
@@ -21,4 +22,32 @@ func (m *Machine) ResetStats() { m.resetStats() }
 // Snapshot assembles the result over the measured window.
 func (m *Machine) Snapshot(traceName string, cycles mem.Cycle) *Result {
 	return m.result(traceName, cycles)
+}
+
+// ArmCoreWindows starts per-core interval sampling on a sharded
+// system: samples are stamped with the core index and cover only this
+// core's private domain (see sampleWindow). Call after the warmup
+// stats reset so windows count from the measured phase.
+func (m *Machine) ArmCoreWindows(core int, w probe.WindowObserver, every uint64) {
+	m.winCore = core
+	m.armWindows(w, every)
+}
+
+// FlushCoreWindows emits the final (usually partial) window at run end.
+func (m *Machine) FlushCoreWindows() { m.flushWindow() }
+
+// AttachCoreObserver points this core's private components (core, GM,
+// L1D, L2 — not the shared LLC/DRAM) at o. Sharded systems attach
+// shared-domain observers separately, exactly once.
+func (m *Machine) AttachCoreObserver(o probe.Observer) {
+	if o == nil {
+		return
+	}
+	m.obs = o
+	m.core.Obs = o
+	if m.gm != nil {
+		m.gm.Obs = o
+	}
+	m.l1d.Obs = o
+	m.l2.Obs = o
 }

@@ -84,6 +84,7 @@ type Machine struct {
 	winNext  uint64
 	winLast  uint64
 	winStart mem.Cycle
+	winCore  int // core index stamped onto samples (sharded systems)
 
 	// Calendar-queue engine state (see runUntil / advanceTo). lastWake
 	// and lastGMVer are the wake counters / GM state version observed
